@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artifact (table / figure / ablation)
+exactly once per session — these are *experiment* benchmarks whose value
+is the produced numbers, not nanosecond timings — so every target runs
+with ``rounds=1``. Set ``REPRO_FULL=1`` to run paper-scale protocols.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target a single time under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

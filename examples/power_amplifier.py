@@ -1,0 +1,53 @@
+"""Power-amplifier sizing — the paper's §5.1 experiment, pocket edition.
+
+Maximizes the drain efficiency of a class-E power amplifier simulated on
+the built-in MNA engine, subject to output-power and distortion
+constraints, using the multi-fidelity optimizer: coarse evaluations run a
+2-period transient, fine evaluations a 40-period one (the paper's
+10 ns vs 200 ns protocol, 20x cost ratio).
+
+Run:  python examples/power_amplifier.py        (~1-2 minutes)
+"""
+
+from repro import MFBOptimizer
+from repro.circuits import PowerAmplifierProblem
+
+
+def main(seed: int = 1) -> None:
+    problem = PowerAmplifierProblem()
+    print("design space:")
+    for variable in problem.space.variables:
+        print(
+            f"  {variable.name:4s} in [{variable.lower:g}, "
+            f"{variable.upper:g}] {variable.unit}"
+        )
+
+    result = MFBOptimizer(
+        problem,
+        budget=20.0,           # equivalent high-fidelity simulations
+        n_init_low=10,
+        n_init_high=5,
+        msp_starts=60,
+        msp_polish=2,
+        n_restarts=1,
+        gp_max_opt_iter=40,
+        seed=seed,
+    ).run()
+
+    print("\nbest design found:")
+    for name, value in problem.space.as_dict(result.best_x).items():
+        print(f"  {name:4s} = {value:.4g}")
+    print(
+        f"\n  Eff  = {result.metrics['Eff']:.2f} %"
+        f"\n  Pout = {result.metrics['Pout']:.2f} dBm "
+        f"(constraint: > {problem.pout_min_dbm})"
+        f"\n  thd  = {result.metrics['thd']:.2f} dB "
+        f"(constraint: < {problem.thd_max_db})"
+        f"\n  feasible: {result.feasible}"
+        f"\n  cost: {result.n_low} coarse + {result.n_high} fine "
+        f"= {result.equivalent_cost:.1f} equivalent fine simulations"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` requires the ``wheel`` package for PEP-660 editable
+installs; on fully offline machines without it, ``python setup.py
+develop`` provides an equivalent editable install. All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

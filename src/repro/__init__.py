@@ -1,0 +1,63 @@
+"""repro — Multi-fidelity Bayesian optimization for analog circuit synthesis.
+
+Reproduction of Zhang et al., "An Efficient Multi-fidelity Bayesian
+Optimization Approach for Analog Circuit Synthesis", DAC 2019.
+
+Public API highlights
+---------------------
+- :class:`repro.core.MFBOptimizer` — the paper's Algorithm 1.
+- :class:`repro.baselines.WEIBO` / :class:`repro.baselines.GASPAD` /
+  :class:`repro.baselines.DEOptimizer` — the compared methods.
+- :class:`repro.mf.NARGP` — nonlinear two-fidelity GP fusion (§3).
+- :class:`repro.gp.GPR` — exact GP regression substrate (§2.3).
+- :mod:`repro.circuits` — power-amplifier and charge-pump testbenches.
+- :mod:`repro.spice` — a small MNA circuit simulator substrate.
+"""
+
+from .acquisition import (
+    LCB,
+    ExpectedImprovement,
+    ViolationAcquisition,
+    WeightedEI,
+)
+from .baselines import GASPAD, WEIBO, DEOptimizer
+from .core import BOResult, FidelitySelector, History, MFBOptimizer
+from .design import DesignSpace, Variable
+from .gp import GPR
+from .mf import AR1, NARGP
+from .optim import DifferentialEvolution, MSPOptimizer, RandomSearch
+from .problems import (
+    FIDELITY_HIGH,
+    FIDELITY_LOW,
+    Evaluation,
+    Problem,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MFBOptimizer",
+    "BOResult",
+    "FidelitySelector",
+    "History",
+    "WEIBO",
+    "GASPAD",
+    "DEOptimizer",
+    "NARGP",
+    "AR1",
+    "GPR",
+    "DesignSpace",
+    "Variable",
+    "MSPOptimizer",
+    "RandomSearch",
+    "DifferentialEvolution",
+    "ExpectedImprovement",
+    "WeightedEI",
+    "LCB",
+    "ViolationAcquisition",
+    "Problem",
+    "Evaluation",
+    "FIDELITY_LOW",
+    "FIDELITY_HIGH",
+    "__version__",
+]

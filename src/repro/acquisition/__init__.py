@@ -1,0 +1,23 @@
+"""Acquisition functions for constrained Bayesian optimization."""
+
+from .functions import (
+    LCB,
+    ExpectedImprovement,
+    ViolationAcquisition,
+    WeightedEI,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_feasibility,
+    probability_of_improvement,
+)
+
+__all__ = [
+    "ExpectedImprovement",
+    "WeightedEI",
+    "LCB",
+    "ViolationAcquisition",
+    "expected_improvement",
+    "probability_of_improvement",
+    "probability_of_feasibility",
+    "lower_confidence_bound",
+]

@@ -1,0 +1,7 @@
+"""Baseline optimizers the paper compares against (§5)."""
+
+from .de_opt import DEOptimizer
+from .gaspad import GASPAD
+from .weibo import WEIBO
+
+__all__ = ["WEIBO", "GASPAD", "DEOptimizer"]

@@ -1,0 +1,133 @@
+"""WEIBO — single-fidelity GP Bayesian optimization with weighted EI.
+
+The state-of-the-art baseline the paper compares against (Lyu et al.,
+TCAS-I 2018, ref. [17]): a plain GP surrogate per output, the weighted
+Expected Improvement acquisition (eq. 6), and a multiple-starting-point
+acquisition search. All simulations run at the highest fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..acquisition.functions import ViolationAcquisition, WeightedEI
+from ..core.history import History
+from ..core.result import BOResult
+from ..design.sampling import maximin_latin_hypercube
+from ..gp.gpr import GPR
+from ..optim.msp import MSPOptimizer
+from ..problems.base import Problem
+
+__all__ = ["WEIBO"]
+
+
+class WEIBO:
+    """Single-fidelity constrained BO baseline.
+
+    Parameters
+    ----------
+    problem:
+        Any :class:`repro.problems.Problem`; only its highest fidelity is
+        used.
+    budget:
+        Number of (high-fidelity) simulations, including the initial
+        design — matching the paper's protocol ("WEIBO is initialized
+        with 40 high-fidelity data points and limited with 150
+        simulations").
+    n_init:
+        Initial Latin-hypercube design size.
+    """
+
+    algorithm_name = "WEIBO"
+
+    def __init__(
+        self,
+        problem: Problem,
+        budget: int = 150,
+        n_init: int = 40,
+        n_restarts: int = 2,
+        gp_max_opt_iter: int = 100,
+        msp_starts: int = 100,
+        msp_polish: int = 3,
+        ball_stddev: float = 0.03,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        callback: Callable[[int, History], None] | None = None,
+    ):
+        if budget < n_init:
+            raise ValueError("budget must cover the initial design")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.problem = problem
+        self.budget = int(budget)
+        self.n_init = int(n_init)
+        self.n_restarts = int(n_restarts)
+        self.gp_max_opt_iter = int(gp_max_opt_iter)
+        self.callback = callback
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.acq_optimizer = MSPOptimizer(
+            dim=problem.dim,
+            n_starts=msp_starts,
+            n_polish=msp_polish,
+            frac_around_low=0.0,
+            frac_around_high=0.40,
+            ball_stddev=ball_stddev,
+            rng=self.rng,
+        )
+        self.history = History()
+        self._fidelity = problem.highest_fidelity
+
+    # ------------------------------------------------------------------
+    def _fit_models(self) -> list[GPR]:
+        x, y, constraints = self.history.data(self._fidelity)
+        targets = [y] + [constraints[:, i] for i in range(constraints.shape[1])]
+        return [
+            GPR(max_opt_iter=self.gp_max_opt_iter).fit(
+                x, t, n_restarts=self.n_restarts, rng=self.rng
+            )
+            for t in targets
+        ]
+
+    def _build_acquisition(self, models: list[GPR]):
+        predictors = [(lambda m: (lambda x: m.predict(x)))(m) for m in models]
+        feasible = self.history.best_feasible(self._fidelity)
+        if feasible is not None or len(predictors) == 1:
+            tau = feasible.objective if feasible is not None else None
+            return WeightedEI(predictors[0], predictors[1:], tau)
+        return ViolationAcquisition(predictors[1:])
+
+    # ------------------------------------------------------------------
+    def run(self) -> BOResult:
+        """Run the BO loop until the simulation budget is exhausted."""
+        for u in maximin_latin_hypercube(self.n_init, self.problem.dim, self.rng):
+            self.history.add(
+                u, self.problem.evaluate_unit(u, self._fidelity), iteration=0
+            )
+        iteration = 0
+        while self.history.n_evaluations(self._fidelity) < self.budget:
+            iteration += 1
+            models = self._fit_models()
+            acquisition = self._build_acquisition(models)
+            incumbent = self.history.incumbent(self._fidelity)
+            result = self.acq_optimizer.maximize(
+                acquisition,
+                incumbent_high=None if incumbent is None else incumbent.x_unit,
+            )
+            x_next = self._dedup(result.x)
+            evaluation = self.problem.evaluate_unit(x_next, self._fidelity)
+            self.history.add(x_next, evaluation, iteration=iteration)
+            if self.callback is not None:
+                self.callback(iteration, self.history)
+        return BOResult.from_history(
+            self.problem, self.history, self.algorithm_name
+        )
+
+    def _dedup(self, x: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
+        existing = np.vstack([r.x_unit for r in self.history.records])
+        if float(np.min(np.linalg.norm(existing - x[None, :], axis=1))) > tolerance:
+            return x
+        return np.clip(
+            x + 1e-6 * self.rng.standard_normal(x.size), 0.0, 1.0
+        )

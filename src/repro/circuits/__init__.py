@@ -1,0 +1,17 @@
+"""Circuit optimization testbenches (paper §5)."""
+
+from .charge_pump import ChargePumpProblem, charge_pump_currents
+from .power_amplifier import PowerAmplifierProblem, build_pa_circuit, simulate_pa
+from .pvt import Corner, N_CORNERS, all_corners, typical_corner
+
+__all__ = [
+    "PowerAmplifierProblem",
+    "build_pa_circuit",
+    "simulate_pa",
+    "ChargePumpProblem",
+    "charge_pump_currents",
+    "Corner",
+    "N_CORNERS",
+    "all_corners",
+    "typical_corner",
+]

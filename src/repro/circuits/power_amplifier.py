@@ -1,0 +1,201 @@
+"""Power-amplifier testbench — the paper's first benchmark circuit (§5.1).
+
+The paper optimizes an array-based class-E power amplifier in TSMC 65 nm
+at 2.4 GHz, maximizing drain efficiency subject to output power and
+distortion constraints, with the *transient simulation length per
+transistor* as the fidelity axis: 10 ns (coarse) vs 200 ns (fine) — a
+20x cost ratio.
+
+This module rebuilds that experiment on :mod:`repro.spice`:
+
+* a single-ended class-E stage — switch NMOS, RF choke, shunt capacitor
+  ``Cp``, series resonant ``Cs``-``Ls`` into the load — representative
+  of one of the paper's 2048 identical cells;
+* the same five design variables (``Cs``, ``Cp``, ``W``, ``Vdd``,
+  ``Vb``);
+* the same fidelity mechanism: the coarse evaluation simulates 2 carrier
+  periods (the waveforms have not settled, which biases efficiency and
+  THD nonlinearly — compare paper Fig. 3), the fine evaluation 40
+  periods with measurements over the settled tail. Cost ratio 20x,
+  matching the paper's 10 ns / 200 ns.
+
+The carrier runs at 10 MHz instead of 2.4 GHz purely so the pure-Python
+MNA engine integrates a sane number of timepoints; the optimization
+landscape is set by the *relative* reactances, which are scaled with the
+frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..design.space import DesignSpace, Variable
+from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+from ..spice.elements import (
+    MOSFET,
+    Capacitor,
+    Inductor,
+    Resistor,
+    SineWave,
+    VoltageSource,
+)
+from ..spice.netlist import Circuit
+from ..spice.transient import simulate_transient
+from ..spice.waveform import thd_db, to_dbm
+
+__all__ = ["PowerAmplifierProblem", "build_pa_circuit", "simulate_pa"]
+
+#: Carrier frequency of the scaled testbench.
+CARRIER_HZ = 10e6
+#: Load resistance.
+LOAD_OHMS = 5.0
+#: RF choke and series inductor (fixed, scaled to the carrier).
+CHOKE_H = 3e-6
+SERIES_H = 1.2e-6
+#: Gate drive amplitude around the bias Vb.
+DRIVE_AMPLITUDE_V = 1.0
+#: Timepoints per carrier period.
+STEPS_PER_PERIOD = 40
+#: Simulated / measured periods per fidelity. The 2:40 duration ratio
+#: reproduces the paper's 10 ns : 200 ns = 1:20 cost ratio.
+SIM_PERIODS = {FIDELITY_LOW: 2, FIDELITY_HIGH: 40}
+MEASURE_PERIODS = {FIDELITY_LOW: 1, FIDELITY_HIGH: 8}
+COST_RATIO = SIM_PERIODS[FIDELITY_HIGH] / SIM_PERIODS[FIDELITY_LOW]
+
+
+def build_pa_circuit(
+    cs: float, cp: float, w: float, vdd: float, vb: float
+) -> Circuit:
+    """Assemble the class-E stage netlist for one design point.
+
+    Parameters are physical: capacitances in farads, width in metres,
+    voltages in volts.
+    """
+    circuit = Circuit("class-e-pa")
+    circuit.add(VoltageSource("VDD", "vdd", "0", dc=vdd))
+    circuit.add(
+        VoltageSource(
+            "VG", "gate", "0", dc=vb,
+            waveform=SineWave(vb, DRIVE_AMPLITUDE_V, CARRIER_HZ),
+        )
+    )
+    circuit.add(Inductor("Lchoke", "vdd", "drain", CHOKE_H))
+    circuit.add(
+        MOSFET(
+            "M1", "drain", "gate", "0",
+            polarity="nmos", w=w, l=0.18e-6,
+            kp=2e-4, vth=0.6, lambda_=0.05,
+        )
+    )
+    circuit.add(Capacitor("Cp", "drain", "0", cp))
+    circuit.add(Capacitor("Cs", "drain", "mid", cs))
+    circuit.add(Inductor("Ls", "mid", "out", SERIES_H))
+    circuit.add(Resistor("RL", "out", "0", LOAD_OHMS))
+    return circuit
+
+
+def simulate_pa(
+    cs: float, cp: float, w: float, vdd: float, vb: float, fidelity: str
+) -> dict:
+    """Simulate one design point and return the paper's three metrics.
+
+    Returns a dict with keys ``Eff`` (percent), ``Pout`` (dBm) and
+    ``thd`` (dB, shifted so the interesting range is positive like the
+    paper's Table 1 values).
+    """
+    circuit = build_pa_circuit(cs, cp, w, vdd, vb)
+    period = 1.0 / CARRIER_HZ
+    n_periods = SIM_PERIODS[fidelity]
+    result = simulate_transient(
+        circuit,
+        t_stop=n_periods * period,
+        dt=period / STEPS_PER_PERIOD,
+        use_ic=False,
+    )
+    v_out = result.voltage("out")
+    i_vdd = result.current("VDD")
+    window = MEASURE_PERIODS[fidelity]
+    v_tail = v_out.last_periods(CARRIER_HZ, window)
+    i_tail = i_vdd.last_periods(CARRIER_HZ, window)
+
+    p_load = v_tail.rms() ** 2 / LOAD_OHMS
+    # VDD source current flows out of the positive terminal into the
+    # circuit as a negative branch current; power drawn is -V * I.
+    p_dc = -vdd * i_tail.average()
+    p_dc = max(p_dc, 1e-12)
+    # Unsettled (short, coarse-fidelity) windows can return energy stored
+    # during startup, producing nonphysical ratios; saturate the readout
+    # at 120% the way a real measurement script would.
+    efficiency = min(100.0 * p_load / p_dc, 120.0)
+    pout_dbm = to_dbm(p_load)
+    # Shift the raw (negative-dB) distortion onto the paper's positive
+    # scale: a perfectly clean tone would read 0 dB at -40 dB raw THD.
+    thd_raw = thd_db(v_tail, CARRIER_HZ, n_harmonics=8)
+    thd_metric = float(thd_raw + 40.0) if np.isfinite(thd_raw) else 60.0
+    return {"Eff": float(efficiency), "Pout": float(pout_dbm), "thd": thd_metric}
+
+
+class PowerAmplifierProblem(Problem):
+    """The §5.1 optimization problem.
+
+    ::
+
+        maximize  Eff
+        s.t.      Pout > pout_min_dbm
+                  thd  < thd_max_db
+
+    internally phrased as minimize ``-Eff`` with ``c1 = pout_min - Pout``
+    and ``c2 = thd - thd_max``. The design variables and their ranges:
+
+    ======  =============================  ==========
+    name    meaning                        range
+    ======  =============================  ==========
+    Cs      series resonant capacitor      60 pF - 400 pF
+    Cp      shunt (class-E) capacitor      100 pF - 1.2 nF
+    W       switch width                   100 um - 1200 um
+    Vdd     supply voltage                 1.5 V - 3.3 V
+    Vb      gate bias                      1.0 V - 2.0 V
+    ======  =============================  ==========
+
+    Constraint thresholds default to values calibrated for this scaled
+    testbench so the feasible region is a meaningful subset of the space
+    (see EXPERIMENTS.md); the paper's 23 dBm / 13.65 dB apply to its
+    2048-cell 2.4 GHz array.
+    """
+
+    name = "power-amplifier"
+
+    def __init__(
+        self,
+        pout_min_dbm: float = 20.0,
+        thd_max_db: float = 26.0,
+    ):
+        space = DesignSpace(
+            [
+                Variable("Cs", 60e-12, 400e-12, unit="F", log_scale=True),
+                Variable("Cp", 100e-12, 1.2e-9, unit="F", log_scale=True),
+                Variable("W", 100e-6, 1200e-6, unit="m", log_scale=True),
+                Variable("Vdd", 1.5, 3.3, unit="V"),
+                Variable("Vb", 1.0, 2.0, unit="V"),
+            ]
+        )
+        super().__init__(
+            space=space,
+            n_constraints=2,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 1.0 / COST_RATIO, FIDELITY_HIGH: 1.0},
+        )
+        self.pout_min_dbm = float(pout_min_dbm)
+        self.thd_max_db = float(thd_max_db)
+
+    def _evaluate(self, x, fidelity):
+        cs, cp, w, vdd, vb = (float(v) for v in x)
+        metrics = simulate_pa(cs, cp, w, vdd, vb, fidelity)
+        objective = -metrics["Eff"]  # maximize efficiency
+        constraints = np.array(
+            [
+                self.pout_min_dbm - metrics["Pout"],  # Pout > min
+                metrics["thd"] - self.thd_max_db,     # thd  < max
+            ]
+        )
+        return objective, constraints, metrics

@@ -1,0 +1,107 @@
+"""Process/Voltage/Temperature corner model.
+
+The charge-pump experiment of the paper (§5.2) simulates "a total of 27
+PVT corners" at high fidelity and "only a single PVT corner" at low
+fidelity. This module provides that corner grid: 3 process corners
+(slow/typical/fast) x 3 supply voltages (-10% / nominal / +10%) x 3
+temperatures (-40C / 27C / 125C).
+
+The process corner shifts threshold voltages and carrier mobility;
+temperature applies the usual ``(T/300K)^-1.5`` mobility law and a
+-2 mV/K threshold drift. These first-order laws are what the behavioral
+charge-pump model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Corner", "all_corners", "typical_corner", "N_CORNERS"]
+
+_PROCESS_NAMES = ("ss", "tt", "ff")
+_VDD_FACTORS = (0.9, 1.0, 1.1)
+_TEMPERATURES_C = (-40.0, 27.0, 125.0)
+
+#: Threshold shift per process corner (V); slow = higher |Vth|.
+_VTH_SHIFT = {"ss": +0.03, "tt": 0.0, "ff": -0.03}
+#: Mobility multiplier per process corner.
+_MOBILITY_FACTOR = {"ss": 0.95, "tt": 1.0, "ff": 1.05}
+
+N_CORNERS = len(_PROCESS_NAMES) * len(_VDD_FACTORS) * len(_TEMPERATURES_C)
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One PVT corner with derived device-parameter scalings."""
+
+    process: str
+    vdd_factor: float
+    temperature_c: float
+
+    def __post_init__(self):
+        if self.process not in _PROCESS_NAMES:
+            raise ValueError(f"unknown process corner {self.process!r}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.process}/{self.vdd_factor:g}V/{self.temperature_c:g}C"
+
+    @property
+    def is_typical(self) -> bool:
+        return (
+            self.process == "tt"
+            and self.vdd_factor == 1.0
+            and self.temperature_c == 27.0
+        )
+
+    # ------------------------------------------------------------------
+    # derived device-parameter scalings
+    # ------------------------------------------------------------------
+    @property
+    def vth_shift(self) -> float:
+        """Threshold shift in volts (process + temperature)."""
+        dt = self.temperature_c - 27.0
+        return _VTH_SHIFT[self.process] - 2e-3 * dt
+
+    @property
+    def mobility_factor(self) -> float:
+        """Mobility multiplier (process + ``T^-1.5`` temperature law)."""
+        t_kelvin = self.temperature_c + 273.15
+        return _MOBILITY_FACTOR[self.process] * (t_kelvin / 300.15) ** -1.5
+
+    def vdd(self, nominal: float) -> float:
+        """Actual supply at this corner."""
+        return nominal * self.vdd_factor
+
+    @property
+    def skew(self) -> float:
+        """Signed corner skew in [-1, 1] used for mismatch polarity.
+
+        Slow corners give negative skew, fast positive; voltage and
+        temperature contribute fractionally. Deterministic by design so
+        repeated evaluations agree exactly.
+        """
+        process_skew = {"ss": -1.0, "tt": 0.0, "ff": 1.0}[self.process]
+        v_skew = (self.vdd_factor - 1.0) / 0.1
+        t_skew = (self.temperature_c - 27.0) / 98.0
+        return float(np.clip(0.6 * process_skew + 0.25 * v_skew + 0.15 * t_skew,
+                             -1.0, 1.0))
+
+
+def all_corners() -> list[Corner]:
+    """The full 3 x 3 x 3 = 27 corner grid, typical corner first."""
+    corners = [
+        Corner(p, v, t)
+        for p in _PROCESS_NAMES
+        for v in _VDD_FACTORS
+        for t in _TEMPERATURES_C
+    ]
+    corners.sort(key=lambda c: not c.is_typical)
+    return corners
+
+
+def typical_corner() -> Corner:
+    """The tt / nominal-VDD / 27C corner used by the low fidelity."""
+    return Corner("tt", 1.0, 27.0)

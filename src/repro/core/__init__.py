@@ -1,0 +1,14 @@
+"""Core multi-fidelity Bayesian optimization algorithm (paper §3-§4)."""
+
+from .fidelity import FidelitySelector
+from .history import History, Record
+from .mfbo import MFBOptimizer
+from .result import BOResult
+
+__all__ = [
+    "MFBOptimizer",
+    "FidelitySelector",
+    "History",
+    "Record",
+    "BOResult",
+]

@@ -1,0 +1,132 @@
+"""Evaluation history and cost accounting for optimization runs.
+
+The paper reports budgets and results in *equivalent high-fidelity
+simulations* (e.g. Table 1: "252 coarse and 46 fine data ... equivalent
+to the simulation time of 59 high-fidelity data"); :class:`History` is the
+single source of truth for that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..problems.base import Evaluation
+
+__all__ = ["Record", "History"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One evaluated design point."""
+
+    x_unit: np.ndarray
+    evaluation: Evaluation
+    iteration: int
+
+    @property
+    def fidelity(self) -> str:
+        return self.evaluation.fidelity
+
+    @property
+    def objective(self) -> float:
+        return self.evaluation.objective
+
+    @property
+    def feasible(self) -> bool:
+        return self.evaluation.feasible
+
+
+class History:
+    """Ordered log of all evaluations of one optimization run."""
+
+    def __init__(self):
+        self.records: list[Record] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def add(
+        self, x_unit: np.ndarray, evaluation: Evaluation, iteration: int = -1
+    ) -> Record:
+        """Append one evaluation (unit-cube coordinates)."""
+        record = Record(
+            x_unit=np.asarray(x_unit, dtype=float).ravel().copy(),
+            evaluation=evaluation,
+            iteration=int(iteration),
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def records_at(self, fidelity: str) -> list[Record]:
+        return [r for r in self.records if r.fidelity == fidelity]
+
+    def n_evaluations(self, fidelity: str | None = None) -> int:
+        if fidelity is None:
+            return len(self.records)
+        return len(self.records_at(fidelity))
+
+    def data(self, fidelity: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Training arrays at one fidelity.
+
+        Returns ``(x_unit, objectives, constraints)`` with shapes
+        ``(n, d)``, ``(n,)`` and ``(n, n_constraints)``.
+        """
+        records = self.records_at(fidelity)
+        if not records:
+            raise ValueError(f"no evaluations at fidelity {fidelity!r}")
+        x = np.vstack([r.x_unit for r in records])
+        y = np.array([r.objective for r in records])
+        constraints = np.vstack(
+            [r.evaluation.constraints for r in records]
+        ) if records[0].evaluation.constraints.size else np.empty((len(records), 0))
+        return x, y, constraints
+
+    @property
+    def total_cost(self) -> float:
+        """Accumulated cost in equivalent high-fidelity simulations."""
+        return float(sum(r.evaluation.cost for r in self.records))
+
+    # ------------------------------------------------------------------
+    # incumbents
+    # ------------------------------------------------------------------
+    def best_feasible(self, fidelity: str) -> Record | None:
+        """Feasible record with the smallest objective at ``fidelity``."""
+        feasible = [r for r in self.records_at(fidelity) if r.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda r: r.objective)
+
+    def best_by_violation(self, fidelity: str) -> Record | None:
+        """Least-violating record at ``fidelity`` (fallback incumbent)."""
+        records = self.records_at(fidelity)
+        if not records:
+            return None
+        return min(
+            records,
+            key=lambda r: (r.evaluation.total_violation, r.objective),
+        )
+
+    def incumbent(self, fidelity: str) -> Record | None:
+        """Best feasible record, else the least-violating one."""
+        best = self.best_feasible(fidelity)
+        return best if best is not None else self.best_by_violation(fidelity)
+
+    def objective_trace(self, fidelity: str) -> np.ndarray:
+        """Running best feasible objective vs cumulative cost.
+
+        Returns an array of shape ``(n, 2)`` with columns
+        ``(cumulative_cost, best_feasible_objective_so_far)``; infeasible
+        prefixes carry ``np.inf``.
+        """
+        rows, best, cost = [], np.inf, 0.0
+        for record in self.records:
+            cost += record.evaluation.cost
+            if record.fidelity == fidelity and record.feasible:
+                best = min(best, record.objective)
+            rows.append((cost, best))
+        return np.array(rows) if rows else np.empty((0, 2))

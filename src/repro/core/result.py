@@ -1,0 +1,98 @@
+"""Result container shared by the proposed optimizer and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..problems.base import Problem
+from .history import History, Record
+
+__all__ = ["BOResult"]
+
+
+@dataclass
+class BOResult:
+    """Outcome of one optimization run.
+
+    Attributes
+    ----------
+    problem_name:
+        Name of the optimized problem.
+    algorithm:
+        Name of the algorithm that produced the result.
+    best_x:
+        Best design point in **physical units** (best feasible
+        high-fidelity point, falling back to the least-violating one).
+    best_objective:
+        Objective value at ``best_x`` (minimization convention).
+    best_constraints:
+        Constraint values at ``best_x``.
+    feasible:
+        Whether ``best_x`` satisfies all constraints.
+    history:
+        Full evaluation log with cost accounting.
+    metrics:
+        Raw named performance metrics of the best evaluation.
+    """
+
+    problem_name: str
+    algorithm: str
+    best_x: np.ndarray
+    best_objective: float
+    best_constraints: np.ndarray
+    feasible: bool
+    history: History
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_history(
+        cls, problem: Problem, history: History, algorithm: str
+    ) -> "BOResult":
+        """Extract the incumbent at the highest fidelity."""
+        record = history.incumbent(problem.highest_fidelity)
+        if record is None:
+            raise RuntimeError("history contains no high-fidelity evaluations")
+        return cls(
+            problem_name=problem.name,
+            algorithm=algorithm,
+            best_x=problem.space.from_unit(record.x_unit),
+            best_objective=record.objective,
+            best_constraints=record.evaluation.constraints.copy(),
+            feasible=record.feasible,
+            history=history,
+            metrics=dict(record.evaluation.metrics),
+        )
+
+    @property
+    def n_low(self) -> int:
+        from ..problems.base import FIDELITY_LOW
+
+        return self.history.n_evaluations(FIDELITY_LOW) if any(
+            r.fidelity == FIDELITY_LOW for r in self.history.records
+        ) else 0
+
+    @property
+    def n_high(self) -> int:
+        from ..problems.base import FIDELITY_HIGH
+
+        return self.history.n_evaluations(FIDELITY_HIGH)
+
+    @property
+    def equivalent_cost(self) -> float:
+        """Total cost in equivalent high-fidelity simulations."""
+        return self.history.total_cost
+
+    def summary(self) -> dict:
+        """Flat dictionary for table assembly."""
+        return {
+            "problem": self.problem_name,
+            "algorithm": self.algorithm,
+            "objective": self.best_objective,
+            "feasible": self.feasible,
+            "n_low": self.n_low,
+            "n_high": self.n_high,
+            "equivalent_cost": self.equivalent_cost,
+            **{f"metric_{k}": v for k, v in self.metrics.items()},
+        }

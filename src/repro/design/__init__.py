@@ -1,0 +1,18 @@
+"""Design space definitions and space-filling sampling."""
+
+from .sampling import (
+    gaussian_ball,
+    latin_hypercube,
+    maximin_latin_hypercube,
+    uniform,
+)
+from .space import DesignSpace, Variable
+
+__all__ = [
+    "DesignSpace",
+    "Variable",
+    "uniform",
+    "latin_hypercube",
+    "maximin_latin_hypercube",
+    "gaussian_ball",
+]

@@ -1,0 +1,101 @@
+"""Space-filling sampling on the unit cube.
+
+Bayesian optimization initial designs (paper §5: "randomly initialize the
+training set") and the multiple-starting-point scatter (§4.1) both draw
+from these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform",
+    "latin_hypercube",
+    "maximin_latin_hypercube",
+    "gaussian_ball",
+]
+
+
+def _require_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def uniform(
+    n: int, dim: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """``n`` i.i.d. uniform points on ``[0, 1]^dim``."""
+    if n < 0 or dim < 1:
+        raise ValueError("need n >= 0 and dim >= 1")
+    rng = _require_rng(rng)
+    return rng.random((n, dim))
+
+
+def latin_hypercube(
+    n: int, dim: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Latin hypercube sample: one point per axis-aligned stratum.
+
+    Each of the ``dim`` axes is cut into ``n`` equal strata and every
+    stratum receives exactly one coordinate, with independent random
+    permutations per axis.
+    """
+    if n < 0 or dim < 1:
+        raise ValueError("need n >= 0 and dim >= 1")
+    if n == 0:
+        return np.empty((0, dim))
+    rng = _require_rng(rng)
+    samples = np.empty((n, dim))
+    for j in range(dim):
+        perm = rng.permutation(n)
+        samples[:, j] = (perm + rng.random(n)) / n
+    return samples
+
+
+def maximin_latin_hypercube(
+    n: int,
+    dim: int,
+    rng: np.random.Generator | None = None,
+    n_candidates: int = 10,
+) -> np.ndarray:
+    """Best-of-``n_candidates`` LHS under the maximin pairwise distance.
+
+    A cheap approximation of optimal LHS that noticeably improves initial
+    GP designs for the circuit problems.
+    """
+    if n_candidates < 1:
+        raise ValueError("n_candidates must be >= 1")
+    rng = _require_rng(rng)
+    if n < 2:
+        return latin_hypercube(n, dim, rng)
+    best, best_score = None, -np.inf
+    for _ in range(n_candidates):
+        candidate = latin_hypercube(n, dim, rng)
+        diffs = candidate[:, None, :] - candidate[None, :, :]
+        dist2 = np.sum(diffs * diffs, axis=2)
+        np.fill_diagonal(dist2, np.inf)
+        score = float(np.min(dist2))
+        if score > best_score:
+            best, best_score = candidate, score
+    return best
+
+
+def gaussian_ball(
+    center: np.ndarray,
+    n: int,
+    stddev: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """``n`` Gaussian perturbations of ``center``, clipped to the unit cube.
+
+    Used by the MSP strategy (§4.1) to scatter a fraction of acquisition
+    starting points around the incumbents ``tau_l`` and ``tau_h``.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if stddev <= 0:
+        raise ValueError("stddev must be positive")
+    rng = _require_rng(rng)
+    center = np.asarray(center, dtype=float).ravel()
+    points = center[None, :] + stddev * rng.standard_normal((n, center.size))
+    return np.clip(points, 0.0, 1.0)

@@ -1,0 +1,178 @@
+"""Design space: named continuous variables with box bounds.
+
+All optimizers and models in this repository work on the **unit cube**
+``[0, 1]^d`` internally; :class:`DesignSpace` owns the affine transform to
+and from physical units (e.g. transistor widths in micrometres, bias
+voltages in volts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Variable", "DesignSpace"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One continuous design variable.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier (e.g. ``"W1"``, ``"Vb"``).
+    lower, upper:
+        Physical bounds; must satisfy ``lower < upper``.
+    unit:
+        Optional unit string for reports (e.g. ``"um"``, ``"V"``).
+    log_scale:
+        If ``True``, the unit-cube transform is affine in ``log10`` of the
+        value — appropriate for variables spanning decades (bias currents,
+        capacitances).
+    """
+
+    name: str
+    lower: float
+    upper: float
+    unit: str = ""
+    log_scale: bool = False
+
+    def __post_init__(self):
+        if not np.isfinite(self.lower) or not np.isfinite(self.upper):
+            raise ValueError(f"variable {self.name!r} has non-finite bounds")
+        if self.lower >= self.upper:
+            raise ValueError(
+                f"variable {self.name!r} needs lower < upper, got "
+                f"[{self.lower}, {self.upper}]"
+            )
+        if self.log_scale and self.lower <= 0:
+            raise ValueError(
+                f"log-scale variable {self.name!r} needs positive bounds"
+            )
+
+    def to_unit(self, value: np.ndarray) -> np.ndarray:
+        """Map physical values into ``[0, 1]``."""
+        value = np.asarray(value, dtype=float)
+        if self.log_scale:
+            lo, hi = np.log10(self.lower), np.log10(self.upper)
+            return (np.log10(value) - lo) / (hi - lo)
+        return (value - self.lower) / (self.upper - self.lower)
+
+    def from_unit(self, unit_value: np.ndarray) -> np.ndarray:
+        """Map unit-cube values back to physical units."""
+        unit_value = np.asarray(unit_value, dtype=float)
+        if self.log_scale:
+            lo, hi = np.log10(self.lower), np.log10(self.upper)
+            return 10.0 ** (lo + unit_value * (hi - lo))
+        return self.lower + unit_value * (self.upper - self.lower)
+
+
+@dataclass
+class DesignSpace:
+    """An ordered collection of :class:`Variable`.
+
+    Examples
+    --------
+    >>> space = DesignSpace([
+    ...     Variable("Vb", 1.0, 2.0, unit="V"),
+    ...     Variable("W", 1e-6, 1e-4, unit="m", log_scale=True),
+    ... ])
+    >>> space.dim
+    2
+    >>> x = space.from_unit([0.5, 0.5])
+    >>> bool(abs(x[0] - 1.5) < 1e-12)
+    True
+    """
+
+    variables: list[Variable] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = [v.name for v in self.variables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable names in {names}")
+
+    @classmethod
+    def from_bounds(
+        cls, lower, upper, names: list[str] | None = None
+    ) -> "DesignSpace":
+        """Build a space from parallel bound arrays."""
+        lower = np.asarray(lower, dtype=float).ravel()
+        upper = np.asarray(upper, dtype=float).ravel()
+        if lower.shape != upper.shape:
+            raise ValueError("lower and upper bounds must have the same length")
+        if names is None:
+            names = [f"x{i}" for i in range(lower.size)]
+        if len(names) != lower.size:
+            raise ValueError("names length must match bounds length")
+        return cls([Variable(n, lo, hi) for n, lo, hi in zip(names, lower, upper)])
+
+    @property
+    def dim(self) -> int:
+        return len(self.variables)
+
+    @property
+    def names(self) -> list[str]:
+        return [v.name for v in self.variables]
+
+    @property
+    def lower(self) -> np.ndarray:
+        return np.array([v.lower for v in self.variables])
+
+    @property
+    def upper(self) -> np.ndarray:
+        return np.array([v.upper for v in self.variables])
+
+    def __len__(self) -> int:
+        return self.dim
+
+    def __getitem__(self, name: str) -> Variable:
+        for variable in self.variables:
+            if variable.name == name:
+                return variable
+        raise KeyError(name)
+
+    def to_unit(self, x: np.ndarray) -> np.ndarray:
+        """Map physical design points ``(n, d)`` or ``(d,)`` to the unit cube."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        x = np.atleast_2d(x)
+        self._check_dim(x)
+        unit = np.column_stack(
+            [v.to_unit(x[:, i]) for i, v in enumerate(self.variables)]
+        )
+        return unit[0] if single else unit
+
+    def from_unit(self, u: np.ndarray) -> np.ndarray:
+        """Map unit-cube points back to physical units."""
+        u = np.asarray(u, dtype=float)
+        single = u.ndim == 1
+        u = np.atleast_2d(u)
+        self._check_dim(u)
+        phys = np.column_stack(
+            [v.from_unit(u[:, i]) for i, v in enumerate(self.variables)]
+        )
+        return phys[0] if single else phys
+
+    def clip_unit(self, u: np.ndarray) -> np.ndarray:
+        """Clip unit-cube points into ``[0, 1]^d``."""
+        return np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+
+    def contains(self, x: np.ndarray) -> np.ndarray:
+        """Boolean mask: which physical points lie inside the box bounds."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._check_dim(x)
+        return np.all((x >= self.lower) & (x <= self.upper), axis=1)
+
+    def as_dict(self, x: np.ndarray) -> dict[str, float]:
+        """Render one physical point as a ``{name: value}`` mapping."""
+        x = np.asarray(x, dtype=float).ravel()
+        self._check_dim(x.reshape(1, -1))
+        return {v.name: float(xi) for v, xi in zip(self.variables, x)}
+
+    def _check_dim(self, x: np.ndarray) -> None:
+        if x.shape[1] != self.dim:
+            raise ValueError(
+                f"expected {self.dim}-dimensional points, got {x.shape[1]}"
+            )

@@ -1,0 +1,31 @@
+"""Per-table / per-figure experiment runners (paper §5)."""
+
+from .ablations import abl1_fusion, abl2_msp_scatter, abl3_gamma
+from .figures import (
+    fig1_posterior,
+    fig2_ei_landscape,
+    fig3_pa_correlation,
+    fig4_schematic,
+)
+from .runners import AlgorithmSpec, ComparisonResult, compare_algorithms
+from .scale import FULL, SMOKE, Scale, current_scale
+from .tables import tab1_power_amplifier, tab2_charge_pump
+
+__all__ = [
+    "fig1_posterior",
+    "fig2_ei_landscape",
+    "fig3_pa_correlation",
+    "fig4_schematic",
+    "tab1_power_amplifier",
+    "tab2_charge_pump",
+    "abl1_fusion",
+    "abl2_msp_scatter",
+    "abl3_gamma",
+    "AlgorithmSpec",
+    "ComparisonResult",
+    "compare_algorithms",
+    "Scale",
+    "FULL",
+    "SMOKE",
+    "current_scale",
+]

@@ -1,0 +1,132 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.experiments fig1
+    python -m repro.experiments tab1 --full --seed 7
+    python -m repro.experiments all
+
+Artifacts: fig1 fig2 fig3 fig4 tab1 tab2 abl1 abl2 abl3 all.
+``--full`` switches to the paper-scale protocol (same as REPRO_FULL=1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import (
+    FULL,
+    abl1_fusion,
+    abl2_msp_scatter,
+    abl3_gamma,
+    current_scale,
+    fig1_posterior,
+    fig2_ei_landscape,
+    fig3_pa_correlation,
+    fig4_schematic,
+    tab1_power_amplifier,
+    tab2_charge_pump,
+)
+
+ARTIFACTS = ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2",
+             "abl1", "abl2", "abl3")
+
+
+def _print_fig1(seed: int) -> None:
+    result = fig1_posterior(seed=seed)
+    print("Figure 1 — fused vs single-fidelity posterior")
+    print(f"  NARGP RMSE {result['mf_rmse']:.4f}  "
+          f"(mean std {result['mf_mean_std']:.4f})")
+    print(f"  GP    RMSE {result['sf_rmse']:.4f}  "
+          f"(mean std {result['sf_mean_std']:.4f})")
+
+
+def _print_fig2(seed: int) -> None:
+    result = fig2_ei_landscape(seed=seed)
+    print("Figure 2 — EI landscape")
+    print(f"  EI peak {result['ei_peak']:.4f}, incumbent at "
+          f"{result['incumbent']:.4f}, flat-EI fraction near incumbent "
+          f"{result['ei_near_incumbent_frac']:.2f}")
+
+
+def _print_fig3(seed: int) -> None:
+    result = fig3_pa_correlation()
+    print("Figure 3 — Eff(low) / Eff(high) vs Vb")
+    for vb, lo, hi in zip(result["vb"], result["eff_low"],
+                          result["eff_high"]):
+        print(f"  Vb={vb:.2f}  low={lo:6.1f}%  high={hi:6.1f}%")
+    print(f"  nonlinearity ratio {result['nonlinearity_ratio']:.3f}")
+
+
+def _print_fig4(seed: int) -> None:
+    result = fig4_schematic()
+    print(result["charge_pump_inventory"])
+    print()
+    print(result["pa_netlist"])
+
+
+def _print_tab1(seed: int) -> None:
+    print(tab1_power_amplifier(base_seed=seed, verbose=True)["table"])
+
+
+def _print_tab2(seed: int) -> None:
+    print(tab2_charge_pump(base_seed=seed, verbose=True)["table"])
+
+
+def _print_abl1(seed: int) -> None:
+    result = abl1_fusion(seed=seed)
+    print("Ablation abl1 — NARGP vs AR1")
+    print(f"  NARGP RMSE {result['nargp_rmse']:.4f}")
+    print(f"  AR1   RMSE {result['ar1_rmse']:.4f} (rho {result['ar1_rho']:.3f})")
+
+
+def _print_abl2(seed: int) -> None:
+    result = abl2_msp_scatter(seed=seed)
+    print("Ablation abl2 — MSP scatter")
+    print(f"  incumbent-biased mean {result['biased_mean']:.4f}")
+    print(f"  uniform mean          {result['uniform_mean']:.4f}")
+
+
+def _print_abl3(seed: int) -> None:
+    rows = abl3_gamma(seed=seed)
+    print("Ablation abl3 — gamma sweep")
+    for gamma, row in rows.items():
+        print(f"  gamma={gamma:g}: {row['n_low']} low / {row['n_high']} "
+              f"high, best {row['best_objective']:.4f}")
+
+
+_RUNNERS = {
+    "fig1": _print_fig1, "fig2": _print_fig2, "fig3": _print_fig3,
+    "fig4": _print_fig4, "tab1": _print_tab1, "tab2": _print_tab2,
+    "abl1": _print_abl1, "abl2": _print_abl2, "abl3": _print_abl3,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables, figures and ablations.",
+    )
+    parser.add_argument("artifact", choices=ARTIFACTS + ("all",))
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper-scale protocol (equivalent to REPRO_FULL=1)",
+    )
+    args = parser.parse_args(argv)
+    if args.full:
+        import os
+
+        os.environ["REPRO_FULL"] = "1"
+    targets = ARTIFACTS if args.artifact == "all" else (args.artifact,)
+    for name in targets:
+        _RUNNERS[name](args.seed)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

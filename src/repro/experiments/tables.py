@@ -1,0 +1,183 @@
+"""Table experiments: the paper's Tables 1 and 2.
+
+``tab1_power_amplifier`` and ``tab2_charge_pump`` run the full four-way
+comparison (ours / WEIBO / GASPAD / DE) with the paper's protocol at the
+requested :class:`~repro.experiments.scale.Scale` and return both the raw
+:class:`~repro.experiments.runners.ComparisonResult` objects and a
+formatted text table shaped like the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.de_opt import DEOptimizer
+from ..baselines.gaspad import GASPAD
+from ..baselines.weibo import WEIBO
+from ..circuits.charge_pump import ChargePumpProblem
+from ..circuits.power_amplifier import PowerAmplifierProblem
+from ..core.mfbo import MFBOptimizer
+from .runners import AlgorithmSpec, compare_algorithms, format_table
+from .scale import Scale, current_scale
+
+__all__ = ["tab1_power_amplifier", "tab2_charge_pump"]
+
+
+def _specs(
+    scale: Scale,
+    ours_budget: float,
+    ours_init: tuple[int, int],
+    weibo_budget: int,
+    weibo_init: int,
+    gaspad_budget: int,
+    gaspad_init: int,
+    de_budget: int,
+    de_pop: int,
+    msp_starts: int | None = None,
+    msp_polish: int | None = None,
+) -> list[AlgorithmSpec]:
+    msp_starts = msp_starts if msp_starts is not None else scale.msp_starts
+    msp_polish = msp_polish if msp_polish is not None else scale.msp_polish
+    def ours(problem, seed):
+        return MFBOptimizer(
+            problem,
+            budget=ours_budget,
+            n_init_low=ours_init[0],
+            n_init_high=ours_init[1],
+            n_mc_samples=scale.n_mc_samples,
+            n_restarts=scale.n_restarts,
+            msp_starts=msp_starts,
+            msp_polish=msp_polish,
+            gp_max_opt_iter=scale.gp_max_opt_iter,
+            seed=seed,
+        )
+
+    def weibo(problem, seed):
+        return WEIBO(
+            problem,
+            budget=weibo_budget,
+            n_init=weibo_init,
+            n_restarts=scale.n_restarts,
+            gp_max_opt_iter=scale.gp_max_opt_iter,
+            msp_starts=msp_starts,
+            msp_polish=msp_polish,
+            seed=seed,
+        )
+
+    def gaspad(problem, seed):
+        return GASPAD(
+            problem,
+            budget=gaspad_budget,
+            n_init=gaspad_init,
+            pop_size=min(20, max(4, gaspad_init // 2)),
+            n_restarts=scale.n_restarts,
+            gp_max_opt_iter=scale.gp_max_opt_iter,
+            seed=seed,
+        )
+
+    def de(problem, seed):
+        return DEOptimizer(problem, budget=de_budget, pop_size=de_pop, seed=seed)
+
+    return [
+        AlgorithmSpec("Ours", ours),
+        AlgorithmSpec("WEIBO", weibo),
+        AlgorithmSpec("GASPAD", gaspad),
+        AlgorithmSpec("DE", de),
+    ]
+
+
+def tab1_power_amplifier(
+    scale: Scale | None = None,
+    base_seed: int = 2019,
+    verbose: bool = False,
+) -> dict:
+    """Table 1: power-amplifier optimization comparison.
+
+    Efficiency is reported positively (the optimizer minimizes ``-Eff``).
+    Rows: thd / Pout of the best run, Eff mean / median / best / worst,
+    average equivalent simulations, success count.
+    """
+    scale = scale if scale is not None else current_scale()
+    specs = _specs(
+        scale,
+        scale.tab1_ours_budget, scale.tab1_ours_init,
+        scale.tab1_weibo_budget, scale.tab1_weibo_init,
+        scale.tab1_gaspad_budget, scale.tab1_gaspad_init,
+        scale.tab1_de_budget, scale.tab1_de_pop,
+    )
+    comparison = compare_algorithms(
+        PowerAmplifierProblem, specs, scale.tab1_repeats, base_seed, verbose
+    )
+    rows = {}
+    for name, aggregated in comparison.items():
+        efficiencies = -aggregated.objectives  # objective = -Eff
+        best_run = aggregated.best_run()
+        rows[name] = {
+            "thd/dB": best_run.metrics.get("thd", float("nan")),
+            "Pout/dBm": best_run.metrics.get("Pout", float("nan")),
+            "Eff(mean)/%": float(np.mean(efficiencies)),
+            "Eff(median)/%": float(np.median(efficiencies)),
+            "Eff(best)/%": float(np.max(efficiencies)),
+            "Eff(worst)/%": float(np.min(efficiencies)),
+            "Avg.#Sim": aggregated.avg_equivalent_sims,
+            "#Success": f"{aggregated.n_success}/{aggregated.n_repeats}",
+        }
+    table = format_table(
+        rows,
+        ["thd/dB", "Pout/dBm", "Eff(mean)/%", "Eff(median)/%",
+         "Eff(best)/%", "Eff(worst)/%", "Avg.#Sim", "#Success"],
+        title=f"Table 1 (power amplifier, scale={scale.name})",
+    )
+    return {"comparison": comparison, "rows": rows, "table": table,
+            "scale": scale.name}
+
+
+def tab2_charge_pump(
+    scale: Scale | None = None,
+    base_seed: int = 2019,
+    verbose: bool = False,
+) -> dict:
+    """Table 2: charge-pump optimization comparison.
+
+    FOM is minimized directly; rows mirror the paper: the best run's
+    max_diff1..4 and deviation, FOM mean / median / best / worst, average
+    equivalent simulations and success count.
+    """
+    scale = scale if scale is not None else current_scale()
+    specs = _specs(
+        scale,
+        scale.tab2_ours_budget, scale.tab2_ours_init,
+        scale.tab2_weibo_budget, scale.tab2_weibo_init,
+        scale.tab2_gaspad_budget, scale.tab2_gaspad_init,
+        scale.tab2_de_budget, scale.tab2_de_pop,
+        msp_starts=scale.tab2_msp_starts,
+        msp_polish=scale.tab2_msp_polish,
+    )
+    comparison = compare_algorithms(
+        ChargePumpProblem, specs, scale.tab2_repeats, base_seed, verbose
+    )
+    rows = {}
+    for name, aggregated in comparison.items():
+        stats = aggregated.objective_stats()
+        best_run = aggregated.best_run()
+        rows[name] = {
+            "max_diff1": best_run.metrics.get("max_diff1", float("nan")),
+            "max_diff2": best_run.metrics.get("max_diff2", float("nan")),
+            "max_diff3": best_run.metrics.get("max_diff3", float("nan")),
+            "max_diff4": best_run.metrics.get("max_diff4", float("nan")),
+            "deviation": best_run.metrics.get("deviation", float("nan")),
+            "mean": stats["mean"],
+            "median": stats["median"],
+            "best": stats["best"],
+            "worst": stats["worst"],
+            "Avg.#Sim": aggregated.avg_equivalent_sims,
+            "#Success": f"{aggregated.n_success}/{aggregated.n_repeats}",
+        }
+    table = format_table(
+        rows,
+        ["max_diff1", "max_diff2", "max_diff3", "max_diff4", "deviation",
+         "mean", "median", "best", "worst", "Avg.#Sim", "#Success"],
+        title=f"Table 2 (charge pump, scale={scale.name})",
+    )
+    return {"comparison": comparison, "rows": rows, "table": table,
+            "scale": scale.name}

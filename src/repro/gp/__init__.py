@@ -1,0 +1,34 @@
+"""Gaussian process substrate: kernels, means and exact GP regression."""
+
+from .gpr import GPR, TrainResult
+from .kernels import (
+    RBF,
+    ConstantKernel,
+    Kernel,
+    Matern32,
+    Matern52,
+    Product,
+    Sum,
+    WhiteKernel,
+    nargp_kernel,
+)
+from .linalg import jitter_cholesky
+from .means import ConstantMean, MeanFunction, ZeroMean
+
+__all__ = [
+    "GPR",
+    "TrainResult",
+    "Kernel",
+    "RBF",
+    "Matern32",
+    "Matern52",
+    "ConstantKernel",
+    "WhiteKernel",
+    "Sum",
+    "Product",
+    "nargp_kernel",
+    "MeanFunction",
+    "ZeroMean",
+    "ConstantMean",
+    "jitter_cholesky",
+]

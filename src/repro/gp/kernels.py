@@ -1,0 +1,471 @@
+"""Covariance functions for Gaussian process regression.
+
+All hyperparameters live in **log space**: a kernel exposes a flat vector
+``theta`` of log-parameters together with log-space box ``bounds``; the
+trainer in :mod:`repro.gp.gpr` optimizes that vector directly, which keeps
+positivity constraints implicit and conditioning sane.
+
+Kernels compose with ``+`` and ``*`` (building :class:`Sum` and
+:class:`Product`), and each kernel can be restricted to a subset of input
+columns via ``active_dims`` — this is how the NARGP fusion kernel of the
+paper (eq. 9) is assembled, see :func:`nargp_kernel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "ConstantKernel",
+    "WhiteKernel",
+    "RBF",
+    "Matern32",
+    "Matern52",
+    "Sum",
+    "Product",
+    "nargp_kernel",
+]
+
+_SQRT3 = np.sqrt(3.0)
+_SQRT5 = np.sqrt(5.0)
+
+# Default log-space bounds used when none are given explicitly.
+_LOG_VARIANCE_BOUNDS = (np.log(1e-6), np.log(1e4))
+_LOG_LENGTHSCALE_BOUNDS = (np.log(1e-3), np.log(1e3))
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x.reshape(1, -1)
+    if x.ndim != 2:
+        raise ValueError(f"expected a 2-D array of inputs, got shape {x.shape}")
+    return x
+
+
+class Kernel:
+    """Base class for covariance functions.
+
+    Subclasses implement :meth:`__call__`, :meth:`diag` and
+    :meth:`gradients`; hyperparameter plumbing (``theta``, ``bounds``,
+    ``param_names``) is shared here.
+    """
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix ``K(x1, x2)`` of shape ``(n1, n2)``."""
+        raise NotImplementedError
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of ``K(x, x)`` without forming the full matrix."""
+        raise NotImplementedError
+
+    def gradients(self, x: np.ndarray) -> np.ndarray:
+        """Stack of ``dK(x, x) / d theta_j`` with shape ``(n_params, n, n)``.
+
+        Derivatives are taken with respect to the **log-space** parameters,
+        matching the ``theta`` vector.
+        """
+        raise NotImplementedError
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Flat vector of log-space hyperparameters."""
+        raise NotImplementedError
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        """Log-space box bounds, one pair per entry of ``theta``."""
+        raise NotImplementedError
+
+    @property
+    def param_names(self) -> list[str]:
+        """Human readable names aligned with ``theta``."""
+        raise NotImplementedError
+
+    @property
+    def n_params(self) -> int:
+        return len(self.theta)
+
+    def __add__(self, other: "Kernel") -> "Sum":
+        return Sum(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Product":
+        return Product(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(
+            f"{name}={np.exp(value):.4g}"
+            for name, value in zip(self.param_names, self.theta)
+        )
+        return f"{type(self).__name__}({pairs})"
+
+
+class _ActiveDimsMixin:
+    """Shared column-slicing behaviour for leaf kernels."""
+
+    def _init_active_dims(self, active_dims) -> None:
+        if active_dims is None:
+            self.active_dims = None
+        else:
+            dims = np.asarray(active_dims, dtype=int).ravel()
+            if dims.size == 0:
+                raise ValueError("active_dims must not be empty")
+            self.active_dims = dims
+
+    def _slice(self, x: np.ndarray) -> np.ndarray:
+        x = _as_2d(x)
+        if self.active_dims is None:
+            return x
+        return x[:, self.active_dims]
+
+
+class ConstantKernel(_ActiveDimsMixin, Kernel):
+    """Constant covariance ``k(x1, x2) = variance``."""
+
+    def __init__(self, variance: float = 1.0, bounds=None):
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self._log_variance = float(np.log(variance))
+        self._bounds = [tuple(bounds) if bounds is not None else _LOG_VARIANCE_BOUNDS]
+        self._init_active_dims(None)
+
+    @property
+    def variance(self) -> float:
+        return float(np.exp(self._log_variance))
+
+    def __call__(self, x1, x2=None):
+        x1 = _as_2d(x1)
+        n2 = x1.shape[0] if x2 is None else _as_2d(x2).shape[0]
+        return np.full((x1.shape[0], n2), self.variance)
+
+    def diag(self, x):
+        return np.full(_as_2d(x).shape[0], self.variance)
+
+    def gradients(self, x):
+        n = _as_2d(x).shape[0]
+        return np.full((1, n, n), self.variance)
+
+    @property
+    def theta(self):
+        return np.array([self._log_variance])
+
+    @theta.setter
+    def theta(self, value):
+        value = np.asarray(value, dtype=float).ravel()
+        if value.size != 1:
+            raise ValueError("ConstantKernel has exactly one parameter")
+        self._log_variance = float(value[0])
+
+    @property
+    def bounds(self):
+        return list(self._bounds)
+
+    @property
+    def param_names(self):
+        return ["constant.variance"]
+
+
+class WhiteKernel(_ActiveDimsMixin, Kernel):
+    """White noise covariance: ``variance`` on the diagonal, 0 elsewhere.
+
+    Cross covariances ``K(x1, x2)`` with distinct inputs are identically
+    zero, which is the behaviour needed when this kernel is used as an
+    explicit noise component.
+    """
+
+    def __init__(self, variance: float = 1.0, bounds=None):
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self._log_variance = float(np.log(variance))
+        self._bounds = [tuple(bounds) if bounds is not None else _LOG_VARIANCE_BOUNDS]
+        self._init_active_dims(None)
+
+    @property
+    def variance(self) -> float:
+        return float(np.exp(self._log_variance))
+
+    def __call__(self, x1, x2=None):
+        x1 = _as_2d(x1)
+        if x2 is None:
+            return self.variance * np.eye(x1.shape[0])
+        x2 = _as_2d(x2)
+        return np.zeros((x1.shape[0], x2.shape[0]))
+
+    def diag(self, x):
+        return np.full(_as_2d(x).shape[0], self.variance)
+
+    def gradients(self, x):
+        n = _as_2d(x).shape[0]
+        return self.variance * np.eye(n)[None, :, :]
+
+    @property
+    def theta(self):
+        return np.array([self._log_variance])
+
+    @theta.setter
+    def theta(self, value):
+        value = np.asarray(value, dtype=float).ravel()
+        if value.size != 1:
+            raise ValueError("WhiteKernel has exactly one parameter")
+        self._log_variance = float(value[0])
+
+    @property
+    def bounds(self):
+        return list(self._bounds)
+
+    @property
+    def param_names(self):
+        return ["white.variance"]
+
+
+class _Stationary(_ActiveDimsMixin, Kernel):
+    """Common machinery for ARD stationary kernels (RBF / Matern)."""
+
+    _prefix = "stationary"
+
+    def __init__(
+        self,
+        input_dim: int,
+        variance: float = 1.0,
+        lengthscales=1.0,
+        active_dims=None,
+        variance_bounds=None,
+        lengthscale_bounds=None,
+    ):
+        self._init_active_dims(active_dims)
+        if self.active_dims is not None and len(self.active_dims) != input_dim:
+            raise ValueError(
+                f"input_dim={input_dim} does not match "
+                f"{len(self.active_dims)} active dims"
+            )
+        if input_dim < 1:
+            raise ValueError("input_dim must be >= 1")
+        self.input_dim = int(input_dim)
+        lengthscales = np.asarray(lengthscales, dtype=float) * np.ones(input_dim)
+        if np.any(lengthscales <= 0) or variance <= 0:
+            raise ValueError("variance and lengthscales must be positive")
+        self._log_variance = float(np.log(variance))
+        self._log_lengthscales = np.log(lengthscales)
+        vb = tuple(variance_bounds) if variance_bounds else _LOG_VARIANCE_BOUNDS
+        lb = tuple(lengthscale_bounds) if lengthscale_bounds else _LOG_LENGTHSCALE_BOUNDS
+        self._bounds = [vb] + [lb] * input_dim
+
+    @property
+    def variance(self) -> float:
+        return float(np.exp(self._log_variance))
+
+    @property
+    def lengthscales(self) -> np.ndarray:
+        return np.exp(self._log_lengthscales)
+
+    def _scaled_diffs(self, x1, x2):
+        """Pairwise per-dimension differences scaled by lengthscales.
+
+        Returns an array of shape ``(n1, n2, d)`` containing
+        ``(x1_i - x2_j) / l`` per dimension.
+        """
+        x1 = self._slice(x1)
+        x2 = x1 if x2 is None else self._slice(x2)
+        if x1.shape[1] != self.input_dim or x2.shape[1] != self.input_dim:
+            raise ValueError(
+                f"kernel expects {self.input_dim} active input dims, got "
+                f"{x1.shape[1]} and {x2.shape[1]}"
+            )
+        return (x1[:, None, :] - x2[None, :, :]) / self.lengthscales
+
+    def diag(self, x):
+        return np.full(_as_2d(x).shape[0], self.variance)
+
+    @property
+    def theta(self):
+        return np.concatenate(([self._log_variance], self._log_lengthscales))
+
+    @theta.setter
+    def theta(self, value):
+        value = np.asarray(value, dtype=float).ravel()
+        if value.size != 1 + self.input_dim:
+            raise ValueError(
+                f"expected {1 + self.input_dim} parameters, got {value.size}"
+            )
+        self._log_variance = float(value[0])
+        self._log_lengthscales = value[1:].copy()
+
+    @property
+    def bounds(self):
+        return list(self._bounds)
+
+    @property
+    def param_names(self):
+        names = [f"{self._prefix}.variance"]
+        names += [f"{self._prefix}.lengthscale[{i}]" for i in range(self.input_dim)]
+        return names
+
+
+class RBF(_Stationary):
+    """Squared-exponential (SE) ARD kernel — paper eq. (2).
+
+    ``k(x1, x2) = variance * exp(-0.5 * sum_i ((x1_i - x2_i) / l_i)^2)``
+    """
+
+    _prefix = "rbf"
+
+    def __call__(self, x1, x2=None):
+        diffs = self._scaled_diffs(x1, x2)
+        sq = np.sum(diffs * diffs, axis=2)
+        return self.variance * np.exp(-0.5 * sq)
+
+    def gradients(self, x):
+        diffs = self._scaled_diffs(x, None)
+        sq_per_dim = diffs * diffs
+        k = self.variance * np.exp(-0.5 * np.sum(sq_per_dim, axis=2))
+        grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
+        grads[0] = k  # d/d log(variance)
+        for i in range(self.input_dim):
+            grads[1 + i] = k * sq_per_dim[:, :, i]  # d/d log(l_i)
+        return grads
+
+
+class Matern32(_Stationary):
+    """Matern 3/2 ARD kernel: ``variance * (1 + sqrt(3) r) exp(-sqrt(3) r)``."""
+
+    _prefix = "matern32"
+
+    def __call__(self, x1, x2=None):
+        diffs = self._scaled_diffs(x1, x2)
+        r = np.sqrt(np.sum(diffs * diffs, axis=2))
+        return self.variance * (1.0 + _SQRT3 * r) * np.exp(-_SQRT3 * r)
+
+    def gradients(self, x):
+        diffs = self._scaled_diffs(x, None)
+        sq_per_dim = diffs * diffs
+        r = np.sqrt(np.sum(sq_per_dim, axis=2))
+        expart = np.exp(-_SQRT3 * r)
+        k = self.variance * (1.0 + _SQRT3 * r) * expart
+        grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
+        grads[0] = k
+        base = 3.0 * self.variance * expart
+        for i in range(self.input_dim):
+            grads[1 + i] = base * sq_per_dim[:, :, i]
+        return grads
+
+
+class Matern52(_Stationary):
+    """Matern 5/2 ARD kernel:
+    ``variance * (1 + sqrt(5) r + 5 r^2 / 3) exp(-sqrt(5) r)``.
+    """
+
+    _prefix = "matern52"
+
+    def __call__(self, x1, x2=None):
+        diffs = self._scaled_diffs(x1, x2)
+        r = np.sqrt(np.sum(diffs * diffs, axis=2))
+        poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
+        return self.variance * poly * np.exp(-_SQRT5 * r)
+
+    def gradients(self, x):
+        diffs = self._scaled_diffs(x, None)
+        sq_per_dim = diffs * diffs
+        r = np.sqrt(np.sum(sq_per_dim, axis=2))
+        expart = np.exp(-_SQRT5 * r)
+        poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
+        k = self.variance * poly * expart
+        grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
+        grads[0] = k
+        base = (5.0 / 3.0) * self.variance * (1.0 + _SQRT5 * r) * expart
+        for i in range(self.input_dim):
+            grads[1 + i] = base * sq_per_dim[:, :, i]
+        return grads
+
+
+class _Combination(Kernel):
+    """Base class for binary kernel compositions."""
+
+    def __init__(self, left: Kernel, right: Kernel):
+        self.left = left
+        self.right = right
+
+    @property
+    def theta(self):
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value):
+        value = np.asarray(value, dtype=float).ravel()
+        n_left = self.left.n_params
+        if value.size != n_left + self.right.n_params:
+            raise ValueError("parameter vector length mismatch")
+        self.left.theta = value[:n_left]
+        self.right.theta = value[n_left:]
+
+    @property
+    def bounds(self):
+        return self.left.bounds + self.right.bounds
+
+    @property
+    def param_names(self):
+        return self.left.param_names + self.right.param_names
+
+
+class Sum(_Combination):
+    """Pointwise sum of two kernels."""
+
+    def __call__(self, x1, x2=None):
+        return self.left(x1, x2) + self.right(x1, x2)
+
+    def diag(self, x):
+        return self.left.diag(x) + self.right.diag(x)
+
+    def gradients(self, x):
+        return np.concatenate([self.left.gradients(x), self.right.gradients(x)])
+
+
+class Product(_Combination):
+    """Pointwise product of two kernels."""
+
+    def __call__(self, x1, x2=None):
+        return self.left(x1, x2) * self.right(x1, x2)
+
+    def diag(self, x):
+        return self.left.diag(x) * self.right.diag(x)
+
+    def gradients(self, x):
+        k_left = self.left(x)
+        k_right = self.right(x)
+        grads_left = self.left.gradients(x) * k_right[None, :, :]
+        grads_right = self.right.gradients(x) * k_left[None, :, :]
+        return np.concatenate([grads_left, grads_right])
+
+
+def nargp_kernel(input_dim: int, n_outputs_low: int = 1) -> Kernel:
+    """Build the NARGP fusion kernel of the paper, eq. (9).
+
+    The high-fidelity GP sees augmented inputs ``[x, f_l(x)]`` where the
+    last ``n_outputs_low`` columns hold the low-fidelity posterior mean.
+    The kernel is::
+
+        k_h = k1(f_l(x1), f_l(x2)) * k2(x1, x2) + k3(x1, x2)
+
+    with all three factors squared-exponential, exactly as the paper
+    specifies.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the raw design vector ``x``.
+    n_outputs_low:
+        Number of appended low-fidelity output columns (1 for a scalar
+        low-fidelity model).
+    """
+    if input_dim < 1 or n_outputs_low < 1:
+        raise ValueError("input_dim and n_outputs_low must be >= 1")
+    x_dims = np.arange(input_dim)
+    f_dims = np.arange(input_dim, input_dim + n_outputs_low)
+    k1 = RBF(n_outputs_low, active_dims=f_dims)
+    k2 = RBF(input_dim, active_dims=x_dims)
+    k3 = RBF(input_dim, active_dims=x_dims)
+    return k1 * k2 + k3

@@ -1,0 +1,95 @@
+"""Numerically robust linear algebra helpers for Gaussian process models.
+
+All GP computations in :mod:`repro.gp` funnel through this module so that
+jitter policy, triangular solves and log-determinants are implemented once
+and tested once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve as _cho_solve
+from scipy.linalg import cholesky as _cholesky
+from scipy.linalg import solve_triangular as _solve_triangular
+
+__all__ = [
+    "jitter_cholesky",
+    "cho_solve",
+    "solve_lower",
+    "solve_upper",
+    "log_det_from_chol",
+    "symmetrize",
+]
+
+#: Ladder of jitter magnitudes tried (relative to the mean diagonal) before
+#: a Cholesky factorization is declared failed.
+JITTER_LADDER = (0.0, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
+
+
+class CholeskyError(np.linalg.LinAlgError):
+    """Raised when a matrix cannot be factored even with maximum jitter."""
+
+
+def symmetrize(a: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(a + a.T) / 2`` of a square matrix."""
+    return 0.5 * (a + a.T)
+
+
+def jitter_cholesky(a: np.ndarray) -> tuple[np.ndarray, float]:
+    """Lower Cholesky factor of ``a`` with adaptive diagonal jitter.
+
+    Parameters
+    ----------
+    a:
+        Square, (nearly) symmetric positive definite matrix.
+
+    Returns
+    -------
+    (L, jitter):
+        Lower triangular factor and the absolute jitter that was added to
+        the diagonal to make the factorization succeed.
+
+    Raises
+    ------
+    CholeskyError
+        If the matrix cannot be factored even after the largest jitter in
+        :data:`JITTER_LADDER`.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {a.shape}")
+    diag_mean = float(np.mean(np.diag(a)))
+    scale = diag_mean if diag_mean > 0.0 else 1.0
+    a = symmetrize(a)
+    for level in JITTER_LADDER:
+        jitter = level * scale
+        try:
+            attempt = a if jitter == 0.0 else a + jitter * np.eye(a.shape[0])
+            lower = _cholesky(attempt, lower=True, check_finite=False)
+            return lower, jitter
+        except np.linalg.LinAlgError:
+            continue
+    raise CholeskyError(
+        "matrix is not positive definite even with jitter "
+        f"{JITTER_LADDER[-1] * scale:.3e}"
+    )
+
+
+def cho_solve(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the lower Cholesky factor of ``A``."""
+    return _cho_solve((lower, True), b, check_finite=False)
+
+
+def solve_lower(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve the lower-triangular system ``L x = b``."""
+    return _solve_triangular(lower, b, lower=True, check_finite=False)
+
+
+def solve_upper(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve the upper-triangular system ``L.T x = b``."""
+    return _solve_triangular(lower.T, b, lower=False, check_finite=False)
+
+
+def log_det_from_chol(lower: np.ndarray) -> float:
+    """Log-determinant of ``A`` from its lower Cholesky factor."""
+    return 2.0 * float(np.sum(np.log(np.diag(lower))))

@@ -1,0 +1,38 @@
+"""Mean functions for Gaussian process regression.
+
+The paper fixes ``m(x) = 0`` for both fidelity levels (§2.3, §3.1); the
+constant mean is provided for completeness and for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MeanFunction", "ZeroMean", "ConstantMean"]
+
+
+class MeanFunction:
+    """Base class: a deterministic prior mean ``m(x)``."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the mean at inputs ``x`` of shape ``(n, d)``."""
+        raise NotImplementedError
+
+
+class ZeroMean(MeanFunction):
+    """The zero mean used throughout the paper."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.zeros(x.shape[0])
+
+
+class ConstantMean(MeanFunction):
+    """A fixed constant mean ``m(x) = c``."""
+
+    def __init__(self, constant: float = 0.0):
+        self.constant = float(constant)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.full(x.shape[0], self.constant)

@@ -1,0 +1,6 @@
+"""Two-fidelity Gaussian process fusion models."""
+
+from .ar1 import AR1
+from .nargp import NARGP
+
+__all__ = ["NARGP", "AR1"]

@@ -1,0 +1,13 @@
+"""Acquisition optimizers and evolutionary search engines."""
+
+from .de import DifferentialEvolution, deb_fitness
+from .msp import MSPOptimizer, MSPResult
+from .random_search import RandomSearch
+
+__all__ = [
+    "MSPOptimizer",
+    "MSPResult",
+    "RandomSearch",
+    "DifferentialEvolution",
+    "deb_fitness",
+]

@@ -1,0 +1,175 @@
+"""Differential evolution engine (rand/1/bin) on the unit cube.
+
+Two consumers share this engine:
+
+* the DE baseline of the paper's evaluation (Liu et al. 2009 style
+  simulation-driven DE), and
+* GASPAD's evolutionary proposal generator, which ranks DE trial vectors
+  with a GP lower-confidence-bound surrogate instead of true simulations.
+
+The engine is deliberately *ask/tell*: :meth:`ask` produces trial vectors,
+the caller evaluates them however it likes (true simulator, surrogate),
+and :meth:`tell` performs the one-to-one greedy selection. Constraint
+handling is delegated to the caller through the fitness values it
+supplies (see :func:`deb_fitness` for the standard feasibility rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..design.sampling import latin_hypercube
+
+__all__ = ["DifferentialEvolution", "deb_fitness"]
+
+
+def deb_fitness(objective: np.ndarray, violation: np.ndarray) -> np.ndarray:
+    """Scalarize (objective, total constraint violation) with Deb's rules.
+
+    Feasible points (violation == 0) keep their objective; infeasible
+    points are ranked strictly above every feasible point by their
+    violation. Comparing the returned scalars with ``<`` reproduces the
+    classic feasibility tournament: feasible beats infeasible, less
+    violated beats more violated, smaller objective beats larger.
+    """
+    objective = np.asarray(objective, dtype=float)
+    violation = np.asarray(violation, dtype=float)
+    if objective.shape != violation.shape:
+        raise ValueError("objective and violation must have the same shape")
+    feasible = violation <= 0.0
+    finite = objective[np.isfinite(objective) & feasible]
+    offset = float(finite.max()) + 1.0 if finite.size else 1.0
+    return np.where(feasible, objective, offset + violation)
+
+
+class DifferentialEvolution:
+    """rand/1/bin differential evolution with binomial crossover.
+
+    Parameters
+    ----------
+    dim:
+        Problem dimensionality (unit cube).
+    pop_size:
+        Population size; DE folklore suggests ``max(4, 10 * dim)`` but the
+        paper's budgets force much smaller populations, which the caller
+        controls.
+    differential_weight:
+        Mutation factor ``F`` in ``v = a + F * (b - c)``.
+    crossover_rate:
+        Binomial crossover probability ``CR``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        pop_size: int = 20,
+        differential_weight: float = 0.8,
+        crossover_rate: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if pop_size < 4:
+            raise ValueError("rand/1/bin needs a population of at least 4")
+        if not 0.0 < differential_weight <= 2.0:
+            raise ValueError("differential_weight must be in (0, 2]")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        self.dim = int(dim)
+        self.pop_size = int(pop_size)
+        self.differential_weight = float(differential_weight)
+        self.crossover_rate = float(crossover_rate)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.population: np.ndarray | None = None
+        self.fitness: np.ndarray | None = None
+        self._pending_trials: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def initialize(
+        self,
+        population: np.ndarray | None = None,
+        fitness: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Set the initial population (LHS by default) and return it.
+
+        If ``fitness`` is omitted the caller must evaluate the returned
+        population and pass the values through :meth:`tell` with
+        ``initial=True``.
+        """
+        if population is None:
+            population = latin_hypercube(self.pop_size, self.dim, self.rng)
+        else:
+            population = np.atleast_2d(np.asarray(population, dtype=float))
+            if population.shape != (self.pop_size, self.dim):
+                raise ValueError(
+                    f"population must be ({self.pop_size}, {self.dim})"
+                )
+        self.population = np.clip(population, 0.0, 1.0)
+        self.fitness = None
+        if fitness is not None:
+            self.fitness = np.asarray(fitness, dtype=float).copy()
+        return self.population.copy()
+
+    # ------------------------------------------------------------------
+    def ask(self) -> np.ndarray:
+        """Produce one trial vector per population member (mutation +
+        binomial crossover), clipped to the unit cube."""
+        if self.population is None:
+            raise RuntimeError("call initialize() first")
+        if self.fitness is None:
+            raise RuntimeError(
+                "initial population has no fitness yet; tell(initial=True)"
+            )
+        n, d = self.pop_size, self.dim
+        trials = np.empty((n, d))
+        for i in range(n):
+            a, b, c = self._pick_three_distinct(i)
+            mutant = self.population[a] + self.differential_weight * (
+                self.population[b] - self.population[c]
+            )
+            cross = self.rng.random(d) < self.crossover_rate
+            cross[self.rng.integers(d)] = True  # guarantee one gene crosses
+            trials[i] = np.where(cross, mutant, self.population[i])
+        trials = np.clip(trials, 0.0, 1.0)
+        self._pending_trials = trials
+        return trials.copy()
+
+    def _pick_three_distinct(self, exclude: int) -> tuple[int, int, int]:
+        candidates = np.delete(np.arange(self.pop_size), exclude)
+        picks = self.rng.choice(candidates, size=3, replace=False)
+        return int(picks[0]), int(picks[1]), int(picks[2])
+
+    # ------------------------------------------------------------------
+    def tell(self, fitness: np.ndarray, initial: bool = False) -> None:
+        """Feed back fitness values (smaller is better).
+
+        With ``initial=True`` the values belong to the population from
+        :meth:`initialize`; otherwise they belong to the trials from the
+        latest :meth:`ask` and a greedy one-to-one replacement happens.
+        """
+        fitness = np.asarray(fitness, dtype=float).ravel()
+        if fitness.size != self.pop_size:
+            raise ValueError(f"expected {self.pop_size} fitness values")
+        if initial:
+            self.fitness = fitness.copy()
+            self._pending_trials = None
+            return
+        if self._pending_trials is None:
+            raise RuntimeError("tell() without a pending ask()")
+        improved = fitness < self.fitness
+        self.population[improved] = self._pending_trials[improved]
+        self.fitness[improved] = fitness[improved]
+        self._pending_trials = None
+
+    # ------------------------------------------------------------------
+    @property
+    def best_index(self) -> int:
+        if self.fitness is None:
+            raise RuntimeError("no fitness recorded yet")
+        return int(np.argmin(self.fitness))
+
+    @property
+    def best(self) -> tuple[np.ndarray, float]:
+        """Best population member and its fitness."""
+        idx = self.best_index
+        return self.population[idx].copy(), float(self.fitness[idx])

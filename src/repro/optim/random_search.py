@@ -1,0 +1,54 @@
+"""Random-search acquisition maximizer.
+
+A deliberately simple fallback used in ablations (and as a sanity
+baseline in tests): evaluate the acquisition on a space-filling scatter
+and return the argmax, with no gradient polish.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..design.sampling import latin_hypercube
+from .msp import MSPResult
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch:
+    """Maximize a batch acquisition by pure LHS scatter."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_samples: int = 1000,
+        rng: np.random.Generator | None = None,
+    ):
+        if dim < 1 or n_samples < 1:
+            raise ValueError("need dim >= 1 and n_samples >= 1")
+        self.dim = int(dim)
+        self.n_samples = int(n_samples)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def maximize(
+        self,
+        acquisition: Callable[[np.ndarray], np.ndarray],
+        incumbent_low: np.ndarray | None = None,
+        incumbent_high: np.ndarray | None = None,
+        extra_starts: np.ndarray | None = None,
+    ) -> MSPResult:
+        """Same signature as :meth:`repro.optim.MSPOptimizer.maximize`."""
+        points = latin_hypercube(self.n_samples, self.dim, self.rng)
+        if extra_starts is not None:
+            extra = np.atleast_2d(np.asarray(extra_starts, dtype=float))
+            points = np.vstack([points, np.clip(extra, 0.0, 1.0)])
+        values = np.asarray(acquisition(points), dtype=float).ravel()
+        values = np.where(np.isfinite(values), values, -np.inf)
+        idx = int(np.argmax(values))
+        return MSPResult(
+            x=points[idx].copy(),
+            value=float(values[idx]),
+            n_evaluations=points.shape[0],
+        )

@@ -1,0 +1,164 @@
+"""Problem abstraction shared by synthetic suites and circuit testbenches.
+
+A :class:`Problem` is a constrained, possibly multi-fidelity black box:
+
+* the **objective** is minimized (maximization problems negate at this
+  boundary — e.g. power-amplifier efficiency);
+* each **constraint** is feasible when its value is ``< 0`` (paper
+  eq. 1);
+* each **fidelity** has a relative evaluation cost, with the most
+  accurate fidelity costing 1.0 "equivalent high-fidelity simulations" —
+  the cost unit in which the paper reports its budgets (Tables 1-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..design.space import DesignSpace
+
+__all__ = ["Evaluation", "Problem", "FIDELITY_LOW", "FIDELITY_HIGH"]
+
+FIDELITY_LOW = "low"
+FIDELITY_HIGH = "high"
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Result of one black-box evaluation.
+
+    Attributes
+    ----------
+    objective:
+        Value of the function being minimized.
+    constraints:
+        Array of constraint values; ``c_i < 0`` means constraint ``i`` is
+        satisfied. Empty for unconstrained problems.
+    fidelity:
+        The fidelity the evaluation was performed at.
+    cost:
+        Relative cost in equivalent high-fidelity simulations.
+    metrics:
+        Optional named raw performance numbers (e.g. ``{"Eff": 62.3}``)
+        for reporting.
+    """
+
+    objective: float
+    constraints: np.ndarray
+    fidelity: str
+    cost: float
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """True when every constraint is strictly satisfied."""
+        return bool(np.all(self.constraints < 0.0))
+
+    @property
+    def total_violation(self) -> float:
+        """Sum of positive constraint values (0 when feasible)."""
+        if self.constraints.size == 0:
+            return 0.0
+        return float(np.sum(np.maximum(self.constraints, 0.0)))
+
+
+class Problem:
+    """Base class for constrained multi-fidelity optimization problems.
+
+    Subclasses set :attr:`space`, :attr:`n_constraints`,
+    :attr:`fidelities` / :attr:`costs` and implement :meth:`_evaluate`.
+    """
+
+    #: Name used in reports.
+    name: str = "problem"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        n_constraints: int = 0,
+        fidelities: tuple[str, ...] = (FIDELITY_LOW, FIDELITY_HIGH),
+        costs: dict[str, float] | None = None,
+    ):
+        if n_constraints < 0:
+            raise ValueError("n_constraints must be >= 0")
+        if not fidelities:
+            raise ValueError("need at least one fidelity")
+        self.space = space
+        self.n_constraints = int(n_constraints)
+        self.fidelities = tuple(fidelities)
+        if costs is None:
+            costs = {f: 1.0 for f in fidelities}
+        missing = set(fidelities) - set(costs)
+        if missing:
+            raise ValueError(f"costs missing for fidelities {sorted(missing)}")
+        if any(c <= 0 for c in costs.values()):
+            raise ValueError("all fidelity costs must be positive")
+        self.costs = dict(costs)
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.space.dim
+
+    @property
+    def highest_fidelity(self) -> str:
+        return self.fidelities[-1]
+
+    @property
+    def lowest_fidelity(self) -> str:
+        return self.fidelities[0]
+
+    def cost(self, fidelity: str) -> float:
+        """Relative cost of one evaluation at ``fidelity``."""
+        self._check_fidelity(fidelity)
+        return self.costs[fidelity]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray, fidelity: str | None = None) -> Evaluation:
+        """Evaluate one design point given in **physical units**.
+
+        ``fidelity`` defaults to the highest available fidelity.
+        """
+        fidelity = fidelity if fidelity is not None else self.highest_fidelity
+        self._check_fidelity(fidelity)
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.dim:
+            raise ValueError(f"expected {self.dim} variables, got {x.size}")
+        if not np.all(np.isfinite(x)):
+            raise ValueError("design point must be finite")
+        objective, constraints, metrics = self._evaluate(x, fidelity)
+        constraints = np.asarray(constraints, dtype=float).ravel()
+        if constraints.size != self.n_constraints:
+            raise RuntimeError(
+                f"{type(self).__name__} returned {constraints.size} "
+                f"constraints, declared {self.n_constraints}"
+            )
+        return Evaluation(
+            objective=float(objective),
+            constraints=constraints,
+            fidelity=fidelity,
+            cost=self.costs[fidelity],
+            metrics=metrics,
+        )
+
+    def evaluate_unit(
+        self, u: np.ndarray, fidelity: str | None = None
+    ) -> Evaluation:
+        """Evaluate a unit-cube point (the optimizer-facing entry point)."""
+        u = np.asarray(u, dtype=float).ravel()
+        return self.evaluate(self.space.from_unit(np.clip(u, 0.0, 1.0)), fidelity)
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, x: np.ndarray, fidelity: str
+    ) -> tuple[float, np.ndarray, dict]:
+        """Subclass hook: return ``(objective, constraints, metrics)``."""
+        raise NotImplementedError
+
+    def _check_fidelity(self, fidelity: str) -> None:
+        if fidelity not in self.fidelities:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; available: {self.fidelities}"
+            )

@@ -1,0 +1,98 @@
+"""Constrained synthetic multi-fidelity problems.
+
+Used to exercise the constrained machinery (wEI of eq. 6, the
+first-feasible search of eq. 13, and the constrained fidelity criterion
+of eq. 12) without paying for circuit simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..design.space import DesignSpace, Variable
+from .base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+
+__all__ = ["GardnerProblem", "ConstrainedBraninProblem"]
+
+
+class GardnerProblem(Problem):
+    """Gardner et al. (2014) simulation problem #1, made two-fidelity.
+
+    Minimize ``cos(2 x1) cos(x2) + sin(x1)`` subject to
+    ``cos(x1) cos(x2) - sin(x1) sin(x2) + 0.5 < 0`` on ``[0, 6]^2``.
+    The low fidelity warps both surfaces with a smooth multiplicative
+    bias, keeping a nonlinear cross-fidelity relationship.
+    """
+
+    name = "gardner"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        if cost_ratio <= 1:
+            raise ValueError("cost_ratio must be > 1")
+        space = DesignSpace(
+            [Variable("x1", 0.0, 6.0), Variable("x2", 0.0, 6.0)]
+        )
+        super().__init__(
+            space=space,
+            n_constraints=1,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 1.0 / cost_ratio, FIDELITY_HIGH: 1.0},
+        )
+
+    def _evaluate(self, x, fidelity):
+        x1, x2 = float(x[0]), float(x[1])
+        objective = np.cos(2.0 * x1) * np.cos(x2) + np.sin(x1)
+        constraint = np.cos(x1) * np.cos(x2) - np.sin(x1) * np.sin(x2) + 0.5
+        if fidelity == FIDELITY_LOW:
+            bias = 0.15 * np.sin(0.7 * x1 + 0.3 * x2)
+            objective = (1.0 + bias) * objective + 0.1 * np.cos(x1)
+            constraint = constraint + 0.2 * np.sin(x1 * x2 / 4.0)
+        return float(objective), np.array([constraint]), {}
+
+
+class ConstrainedBraninProblem(Problem):
+    """Branin objective with a disk constraint, two fidelities.
+
+    Minimize Branin subject to ``(x1 - 2.5)^2 + (x2 - 7.5)^2 <= 50``
+    (written as ``c(x) < 0``). The low fidelity is the standard warped
+    Branin plus a constraint-boundary shift.
+    """
+
+    name = "constrained-branin"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        if cost_ratio <= 1:
+            raise ValueError("cost_ratio must be > 1")
+        space = DesignSpace(
+            [Variable("x1", -5.0, 10.0), Variable("x2", 0.0, 15.0)]
+        )
+        super().__init__(
+            space=space,
+            n_constraints=1,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 1.0 / cost_ratio, FIDELITY_HIGH: 1.0},
+        )
+
+    @staticmethod
+    def _branin(x1: float, x2: float) -> float:
+        a, b, c = 1.0, 5.1 / (4.0 * np.pi**2), 5.0 / np.pi
+        r, s, t = 6.0, 10.0, 1.0 / (8.0 * np.pi)
+        return (
+            a * (x2 - b * x1**2 + c * x1 - r) ** 2
+            + s * (1 - t) * np.cos(x1)
+            + s
+        )
+
+    def _evaluate(self, x, fidelity):
+        x1, x2 = float(x[0]), float(x[1])
+        constraint = (x1 - 2.5) ** 2 + (x2 - 7.5) ** 2 - 50.0
+        if fidelity == FIDELITY_HIGH:
+            objective = self._branin(x1, x2)
+        else:
+            objective = (
+                0.5 * self._branin(0.7 * x1, 0.75 * x2)
+                + 10.0 * np.sin(x1)
+                + 0.5 * x1
+            )
+            constraint = constraint + 5.0 * np.cos(x1 / 2.0)
+        return float(objective), np.array([constraint]), {}

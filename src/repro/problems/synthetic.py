@@ -1,0 +1,267 @@
+"""Synthetic multi-fidelity benchmark functions.
+
+The pedagogical pair reproduced in the paper's Figures 1-2 comes from
+Perdikaris et al. (2017); the remaining pairs (Forrester, Currin, Park,
+Branin, Hartmann) are the standard multi-fidelity test suite used across
+the multi-fidelity BO literature. Each pair is exposed both as plain
+vectorized functions (for model-level tests and figures) and as a
+:class:`repro.problems.Problem` (for optimizer-level tests).
+
+All *low* fidelities are cheap-but-biased versions of the *high*
+fidelity, with nonlinear (not merely affine) relationships — the regime
+the paper's NARGP fusion targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..design.space import DesignSpace, Variable
+from .base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+
+__all__ = [
+    "pedagogical_low",
+    "pedagogical_high",
+    "forrester_high",
+    "forrester_low",
+    "currin_high",
+    "currin_low",
+    "park_high",
+    "park_low",
+    "branin_high",
+    "branin_low",
+    "hartmann3_high",
+    "hartmann3_low",
+    "PedagogicalProblem",
+    "ForresterProblem",
+    "CurrinProblem",
+    "ParkProblem",
+    "BraninProblem",
+    "Hartmann3Problem",
+]
+
+
+# ----------------------------------------------------------------------
+# function pairs (vectorized: x has shape (n, d), returns (n,))
+# ----------------------------------------------------------------------
+def _col(x: np.ndarray, i: int) -> np.ndarray:
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    return x[:, i]
+
+
+def pedagogical_low(x: np.ndarray) -> np.ndarray:
+    """Perdikaris pedagogical low fidelity: ``sin(8 pi x)`` on [0, 1]."""
+    return np.sin(8.0 * np.pi * _col(x, 0))
+
+
+def pedagogical_high(x: np.ndarray) -> np.ndarray:
+    """Perdikaris pedagogical high fidelity:
+    ``(x - sqrt(2)) * f_low(x)^2`` — a *nonlinear* transform of the low
+    fidelity, the example behind the paper's Figures 1-2."""
+    t = _col(x, 0)
+    low = np.sin(8.0 * np.pi * t)
+    return (t - np.sqrt(2.0)) * low * low
+
+
+def forrester_high(x: np.ndarray) -> np.ndarray:
+    """Forrester (2007) 1-D function ``(6x - 2)^2 sin(12x - 4)``."""
+    t = _col(x, 0)
+    return (6.0 * t - 2.0) ** 2 * np.sin(12.0 * t - 4.0)
+
+
+def forrester_low(x: np.ndarray) -> np.ndarray:
+    """Standard biased low fidelity ``0.5 f_h + 10 (x - 0.5) - 5``."""
+    t = _col(x, 0)
+    return 0.5 * forrester_high(x) + 10.0 * (t - 0.5) - 5.0
+
+
+def currin_high(x: np.ndarray) -> np.ndarray:
+    """Currin exponential function on [0, 1]^2."""
+    x1, x2 = _col(x, 0), _col(x, 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factor = np.where(
+            x2 > 1e-12, 1.0 - np.exp(-1.0 / (2.0 * np.maximum(x2, 1e-12))), 1.0
+        )
+    numerator = 2300.0 * x1**3 + 1900.0 * x1**2 + 2092.0 * x1 + 60.0
+    denominator = 100.0 * x1**3 + 500.0 * x1**2 + 4.0 * x1 + 20.0
+    return factor * numerator / denominator
+
+
+def currin_low(x: np.ndarray) -> np.ndarray:
+    """Xiong et al. low-fidelity Currin: average of shifted evaluations."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    shift = 0.05
+    x_pp = np.column_stack([x[:, 0] + shift, np.minimum(x[:, 1] + shift, 1.0)])
+    x_pm = np.column_stack([x[:, 0] + shift, np.maximum(x[:, 1] - shift, 0.0)])
+    x_mp = np.column_stack([x[:, 0] - shift, np.minimum(x[:, 1] + shift, 1.0)])
+    x_mm = np.column_stack([x[:, 0] - shift, np.maximum(x[:, 1] - shift, 0.0)])
+    return 0.25 * (
+        currin_high(x_pp) + currin_high(x_pm)
+        + currin_high(x_mp) + currin_high(x_mm)
+    )
+
+
+def park_high(x: np.ndarray) -> np.ndarray:
+    """Park (1991) 4-D function on [0, 1]^4 (inputs floored away from 0)."""
+    x = np.clip(np.atleast_2d(np.asarray(x, dtype=float)), 1e-8, 1.0)
+    x1, x2, x3, x4 = x[:, 0], x[:, 1], x[:, 2], x[:, 3]
+    term1 = x1 / 2.0 * (np.sqrt(1.0 + (x2 + x3**2) * x4 / x1**2) - 1.0)
+    term2 = (x1 + 3.0 * x4) * np.exp(1.0 + np.sin(x3))
+    return term1 + term2
+
+
+def park_low(x: np.ndarray) -> np.ndarray:
+    """Xiong et al. low-fidelity Park function."""
+    x = np.clip(np.atleast_2d(np.asarray(x, dtype=float)), 1e-8, 1.0)
+    x1, x2 = x[:, 0], x[:, 1]
+    return (
+        (1.0 + np.sin(x1) / 10.0) * park_high(x)
+        - 2.0 * x1 + x2**2 + x[:, 2] ** 2 + 0.5
+    )
+
+
+def branin_high(x: np.ndarray) -> np.ndarray:
+    """Branin function on its native domain x1 in [-5, 10], x2 in [0, 15]."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    x1, x2 = x[:, 0], x[:, 1]
+    a, b, c = 1.0, 5.1 / (4.0 * np.pi**2), 5.0 / np.pi
+    r, s, t = 6.0, 10.0, 1.0 / (8.0 * np.pi)
+    return a * (x2 - b * x1**2 + c * x1 - r) ** 2 + s * (1 - t) * np.cos(x1) + s
+
+
+def branin_low(x: np.ndarray) -> np.ndarray:
+    """Perturbed low-fidelity Branin (shifted optimum, warped bowl)."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    x1, x2 = x[:, 0], x[:, 1]
+    shifted = np.column_stack([0.7 * x1, 0.75 * x2])
+    return (
+        0.5 * branin_high(shifted)
+        + 10.0 * (x2 - 0.5) ** 0.0 * np.sin(x1)
+        + 5.0 * x1 / 10.0
+    )
+
+
+_HARTMANN3_A = np.array(
+    [[3.0, 10.0, 30.0], [0.1, 10.0, 35.0], [3.0, 10.0, 30.0], [0.1, 10.0, 35.0]]
+)
+_HARTMANN3_P = np.array(
+    [
+        [0.3689, 0.1170, 0.2673],
+        [0.4699, 0.4387, 0.7470],
+        [0.1091, 0.8732, 0.5547],
+        [0.0381, 0.5743, 0.8828],
+    ]
+)
+_HARTMANN3_ALPHA = np.array([1.0, 1.2, 3.0, 3.2])
+
+
+def hartmann3_high(x: np.ndarray) -> np.ndarray:
+    """Hartmann-3 function on [0, 1]^3 (minimization, min ~ -3.8628)."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    inner = np.einsum(
+        "kj,nkj->nk", _HARTMANN3_A, (x[:, None, :] - _HARTMANN3_P[None, :, :]) ** 2
+    )
+    return -np.einsum("k,nk->n", _HARTMANN3_ALPHA, np.exp(-inner))
+
+
+def hartmann3_low(x: np.ndarray) -> np.ndarray:
+    """Low-fidelity Hartmann-3: perturbed mixture weights (Kandasamy)."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    alpha_low = _HARTMANN3_ALPHA - 0.2 * np.array([1.0, -1.0, 1.0, -1.0])
+    inner = np.einsum(
+        "kj,nkj->nk", _HARTMANN3_A, (x[:, None, :] - _HARTMANN3_P[None, :, :]) ** 2
+    )
+    return -np.einsum("k,nk->n", alpha_low, np.exp(-inner))
+
+
+# ----------------------------------------------------------------------
+# Problem wrappers
+# ----------------------------------------------------------------------
+class _SyntheticMF(Problem):
+    """Unconstrained two-fidelity problem from a function pair."""
+
+    def __init__(self, low_fn, high_fn, space: DesignSpace, cost_ratio: float):
+        if cost_ratio <= 1:
+            raise ValueError("cost_ratio must be > 1")
+        super().__init__(
+            space=space,
+            n_constraints=0,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 1.0 / cost_ratio, FIDELITY_HIGH: 1.0},
+        )
+        self._low_fn = low_fn
+        self._high_fn = high_fn
+
+    def _evaluate(self, x, fidelity):
+        fn = self._low_fn if fidelity == FIDELITY_LOW else self._high_fn
+        value = float(fn(x.reshape(1, -1))[0])
+        return value, np.empty(0), {}
+
+
+class PedagogicalProblem(_SyntheticMF):
+    """The Perdikaris pedagogical pair as a minimization problem."""
+
+    name = "pedagogical"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        space = DesignSpace([Variable("x", 0.0, 1.0)])
+        super().__init__(pedagogical_low, pedagogical_high, space, cost_ratio)
+
+
+class ForresterProblem(_SyntheticMF):
+    """Forrester 1-D pair; global minimum ~ -6.0207 at x ~ 0.7572."""
+
+    name = "forrester"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        space = DesignSpace([Variable("x", 0.0, 1.0)])
+        super().__init__(forrester_low, forrester_high, space, cost_ratio)
+
+
+class CurrinProblem(_SyntheticMF):
+    """Currin exponential 2-D pair (minimized, so sign-flipped inputs
+    are *not* applied — the raw function is minimized at the corner)."""
+
+    name = "currin"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        space = DesignSpace(
+            [Variable("x1", 0.0, 1.0), Variable("x2", 0.0, 1.0)]
+        )
+        super().__init__(currin_low, currin_high, space, cost_ratio)
+
+
+class ParkProblem(_SyntheticMF):
+    """Park 4-D pair."""
+
+    name = "park"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        space = DesignSpace(
+            [Variable(f"x{i + 1}", 0.0, 1.0) for i in range(4)]
+        )
+        super().__init__(park_low, park_high, space, cost_ratio)
+
+
+class BraninProblem(_SyntheticMF):
+    """Branin 2-D pair on the native domain."""
+
+    name = "branin"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        space = DesignSpace(
+            [Variable("x1", -5.0, 10.0), Variable("x2", 0.0, 15.0)]
+        )
+        super().__init__(branin_low, branin_high, space, cost_ratio)
+
+
+class Hartmann3Problem(_SyntheticMF):
+    """Hartmann-3 pair on [0, 1]^3."""
+
+    name = "hartmann3"
+
+    def __init__(self, cost_ratio: float = 10.0):
+        space = DesignSpace(
+            [Variable(f"x{i + 1}", 0.0, 1.0) for i in range(3)]
+        )
+        super().__init__(hartmann3_low, hartmann3_high, space, cost_ratio)

@@ -1,0 +1,119 @@
+"""DC operating-point analysis: damped Newton with gmin stepping.
+
+The solver assembles the full nonlinear MNA residual/Jacobian from the
+element stamps and iterates Newton with an update-magnitude damper. If
+plain Newton fails, gmin stepping retries with a large junction
+conductance that is relaxed decade by decade — the standard SPICE
+continuation strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .elements import StampContext
+from .netlist import Circuit
+
+__all__ = ["DCSolution", "solve_dc", "ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration cannot converge."""
+
+
+class DCSolution:
+    """Converged operating point with named accessors."""
+
+    def __init__(self, circuit: Circuit, x: np.ndarray, iterations: int):
+        self.circuit = circuit
+        self.x = x
+        self.iterations = iterations
+
+    def voltage(self, node: str) -> float:
+        """Node voltage in volts."""
+        return self.circuit.voltage(self.x, node)
+
+    def current(self, element_name: str) -> float:
+        """Branch current of a voltage source or inductor in amperes."""
+        return self.circuit.branch_current(self.x, element_name)
+
+
+def _newton(
+    circuit: Circuit,
+    x0: np.ndarray,
+    ctx: StampContext,
+    max_iterations: int,
+    abstol: float,
+    reltol: float,
+    max_step: float,
+) -> tuple[np.ndarray, int]:
+    """Damped Newton iteration; returns the solution and iteration count."""
+    n = circuit.size
+    x = x0.copy()
+    for iteration in range(1, max_iterations + 1):
+        jacobian = np.zeros((n, n))
+        residual = np.zeros(n)
+        for element in circuit.elements:
+            element.stamp(jacobian, residual, x, ctx)
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"{circuit.name}: singular MNA Jacobian "
+                f"(iteration {iteration}) — check for floating nodes"
+            ) from exc
+        step = float(np.max(np.abs(delta))) if delta.size else 0.0
+        if step > max_step:  # damp huge nonlinear updates
+            delta *= max_step / step
+        x = x + delta
+        if step < abstol + reltol * float(np.max(np.abs(x))):
+            return x, iteration
+    raise ConvergenceError(
+        f"{circuit.name}: Newton did not converge in {max_iterations} "
+        "iterations"
+    )
+
+
+def solve_dc(
+    circuit: Circuit,
+    x0: np.ndarray | None = None,
+    max_iterations: int = 200,
+    abstol: float = 1e-9,
+    reltol: float = 1e-6,
+    max_step: float = 1.0,
+    gmin: float = 1e-12,
+) -> DCSolution:
+    """Find the DC operating point.
+
+    Tries plain damped Newton first; on failure, performs gmin stepping
+    from 1e-2 S down to the target ``gmin``, warm-starting each level
+    with the previous solution.
+
+    Raises
+    ------
+    ConvergenceError
+        If even gmin stepping fails.
+    """
+    circuit._elaborate_if_needed()
+    n = circuit.size
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+    ctx = StampContext(mode="dc", gmin=gmin)
+    try:
+        solution, iterations = _newton(
+            circuit, x, ctx, max_iterations, abstol, reltol, max_step
+        )
+        return DCSolution(circuit, solution, iterations)
+    except ConvergenceError:
+        pass
+    # gmin stepping continuation
+    total_iterations = 0
+    gmin_ladder = [10.0 ** (-k) for k in range(2, 13)]
+    for level in gmin_ladder:
+        ctx = StampContext(mode="dc", gmin=max(level, gmin))
+        x, iterations = _newton(
+            circuit, x, ctx, max_iterations, abstol, reltol, max_step
+        )
+        total_iterations += iterations
+        if level <= gmin:
+            break
+    return DCSolution(circuit, x, total_iterations)

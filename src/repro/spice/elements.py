@@ -1,0 +1,596 @@
+"""Circuit elements and their MNA stamps.
+
+Every element implements ``stamp(jacobian, residual, x, ctx)`` which adds
+its contribution to the Newton system ``J dx = -r`` at the candidate
+solution ``x``. The residual convention is Kirchhoff's current law per
+non-ground node — ``r[k]`` accumulates the current *leaving* node ``k`` —
+plus one branch-voltage equation per voltage-defined element (voltage
+sources and inductors).
+
+Reactive elements use companion models: backward-Euler for the first
+transient step and startup, trapezoidal afterwards, with per-element
+state carried in the :class:`StampContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "StampContext",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "MOSFET",
+    "SineWave",
+    "PulseWave",
+]
+
+#: Exponent clamp for the diode/subthreshold exponential.
+_EXP_LIMIT = 40.0
+
+
+@dataclass
+class StampContext:
+    """Per-solve information shared with every stamp call.
+
+    Attributes
+    ----------
+    mode:
+        ``"dc"`` or ``"tran"``.
+    time:
+        Current simulation time (transient only).
+    dt:
+        Current step size (transient only).
+    method:
+        Integration method, ``"be"`` or ``"trap"``.
+    x_prev:
+        Converged solution of the previous timepoint.
+    states:
+        Mutable per-element companion state, keyed by element name.
+    gmin:
+        Convergence conductance added across nonlinear junctions.
+    """
+
+    mode: str = "dc"
+    time: float = 0.0
+    dt: float = 0.0
+    method: str = "be"
+    x_prev: np.ndarray | None = None
+    states: dict = field(default_factory=dict)
+    gmin: float = 1e-12
+
+
+def _limited_exp(arg: np.ndarray | float):
+    """Exponential with linear extrapolation above ``_EXP_LIMIT``.
+
+    Returns ``(value, derivative)`` of a C1 extension of ``exp`` that
+    keeps Newton iterations finite for large junction voltages.
+    """
+    if arg <= _EXP_LIMIT:
+        value = np.exp(arg)
+        return value, value
+    peak = np.exp(_EXP_LIMIT)
+    return peak * (1.0 + (arg - _EXP_LIMIT)), peak
+
+
+class Element:
+    """Base class for all circuit elements."""
+
+    #: True for elements whose current is an MNA unknown.
+    needs_branch_current: bool = False
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        if not name:
+            raise ValueError("element name must be non-empty")
+        self.name = name
+        self.nodes = tuple(nodes)
+        self.node_indices: tuple[int, ...] = ()
+        self.branch_index: int | None = None
+
+    # ------------------------------------------------------------------
+    def stamp(
+        self,
+        jacobian: np.ndarray,
+        residual: np.ndarray,
+        x: np.ndarray,
+        ctx: StampContext,
+    ) -> None:
+        raise NotImplementedError
+
+    def update_state(self, x: np.ndarray, ctx: StampContext) -> None:
+        """Hook called after a transient step is accepted."""
+
+    def validate(self, system_size: int) -> None:
+        """Sanity check after elaboration."""
+        if self.needs_branch_current and self.branch_index is None:
+            raise RuntimeError(f"{self.name}: branch index not assigned")
+
+    def card(self) -> str:
+        """One-line SPICE-style netlist card."""
+        return f"* {self.name} {' '.join(self.nodes)}"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _v(x: np.ndarray, idx: int) -> float:
+        return 0.0 if idx < 0 else float(x[idx])
+
+    @staticmethod
+    def _add(vec: np.ndarray, idx: int, value: float) -> None:
+        if idx >= 0:
+            vec[idx] += value
+
+    @staticmethod
+    def _add_j(mat: np.ndarray, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            mat[row, col] += value
+
+
+# ----------------------------------------------------------------------
+# waveforms
+# ----------------------------------------------------------------------
+class SineWave:
+    """``offset + amplitude * sin(2 pi freq (t - delay) + phase)``."""
+
+    def __init__(
+        self,
+        offset: float = 0.0,
+        amplitude: float = 1.0,
+        frequency: float = 1.0,
+        delay: float = 0.0,
+        phase: float = 0.0,
+    ):
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.delay = float(delay)
+        self.phase = float(phase)
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        return self.offset + self.amplitude * np.sin(
+            2.0 * np.pi * self.frequency * (t - self.delay) + self.phase
+        )
+
+
+class PulseWave:
+    """SPICE PULSE waveform: v1 -> v2 with rise/fall/width/period."""
+
+    def __init__(
+        self,
+        v1: float,
+        v2: float,
+        delay: float = 0.0,
+        rise: float = 1e-9,
+        fall: float = 1e-9,
+        width: float = 1e-6,
+        period: float = 2e-6,
+    ):
+        if rise <= 0 or fall <= 0:
+            raise ValueError("rise and fall must be positive")
+        if period <= rise + fall + width:
+            raise ValueError("period must exceed rise + width + fall")
+        self.v1, self.v2 = float(v1), float(v2)
+        self.delay = float(delay)
+        self.rise, self.fall = float(rise), float(fall)
+        self.width, self.period = float(width), float(period)
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tau = (t - self.delay) % self.period
+        if tau < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tau / self.rise
+        tau -= self.rise
+        if tau < self.width:
+            return self.v2
+        tau -= self.width
+        if tau < self.fall:
+            return self.v2 + (self.v1 - self.v2) * tau / self.fall
+        return self.v1
+
+
+# ----------------------------------------------------------------------
+# linear two-terminal elements
+# ----------------------------------------------------------------------
+class Resistor(Element):
+    """Linear resistor."""
+
+    def __init__(self, name: str, n1: str, n2: str, resistance: float):
+        if resistance <= 0:
+            raise ValueError(f"{name}: resistance must be positive")
+        super().__init__(name, (n1, n2))
+        self.resistance = float(resistance)
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2 = self.node_indices
+        g = 1.0 / self.resistance
+        current = g * (self._v(x, i1) - self._v(x, i2))
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, i1, g)
+        self._add_j(jacobian, i1, i2, -g)
+        self._add_j(jacobian, i2, i1, -g)
+        self._add_j(jacobian, i2, i2, g)
+
+    def card(self):
+        return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.resistance:g}"
+
+
+class Capacitor(Element):
+    """Linear capacitor (open in DC, companion model in transient)."""
+
+    def __init__(self, name: str, n1: str, n2: str, capacitance: float):
+        if capacitance <= 0:
+            raise ValueError(f"{name}: capacitance must be positive")
+        super().__init__(name, (n1, n2))
+        self.capacitance = float(capacitance)
+
+    def _voltage(self, x, i1, i2) -> float:
+        return self._v(x, i1) - self._v(x, i2)
+
+    def stamp(self, jacobian, residual, x, ctx):
+        if ctx.mode == "dc":
+            return
+        i1, i2 = self.node_indices
+        v_now = self._voltage(x, i1, i2)
+        v_prev = self._voltage(ctx.x_prev, i1, i2)
+        if ctx.method == "trap":
+            geq = 2.0 * self.capacitance / ctx.dt
+            i_prev = ctx.states.get(self.name, 0.0)
+            current = geq * (v_now - v_prev) - i_prev
+        else:  # backward Euler
+            geq = self.capacitance / ctx.dt
+            current = geq * (v_now - v_prev)
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, i1, geq)
+        self._add_j(jacobian, i1, i2, -geq)
+        self._add_j(jacobian, i2, i1, -geq)
+        self._add_j(jacobian, i2, i2, geq)
+
+    def update_state(self, x, ctx):
+        i1, i2 = self.node_indices
+        v_now = self._voltage(x, i1, i2)
+        v_prev = self._voltage(ctx.x_prev, i1, i2)
+        if ctx.method == "trap":
+            geq = 2.0 * self.capacitance / ctx.dt
+            i_prev = ctx.states.get(self.name, 0.0)
+            ctx.states[self.name] = geq * (v_now - v_prev) - i_prev
+        else:
+            ctx.states[self.name] = (
+                self.capacitance / ctx.dt * (v_now - v_prev)
+            )
+
+    def card(self):
+        return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.capacitance:g}"
+
+
+class Inductor(Element):
+    """Linear inductor (short in DC); its current is an MNA unknown."""
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, n1: str, n2: str, inductance: float):
+        if inductance <= 0:
+            raise ValueError(f"{name}: inductance must be positive")
+        super().__init__(name, (n1, n2))
+        self.inductance = float(inductance)
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2 = self.node_indices
+        bi = self.branch_index
+        current = float(x[bi])
+        # KCL: branch current leaves n1, enters n2.
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, bi, 1.0)
+        self._add_j(jacobian, i2, bi, -1.0)
+        v_now = self._v(x, i1) - self._v(x, i2)
+        if ctx.mode == "dc":
+            residual[bi] += v_now  # v = 0 (DC short)
+            self._add_j(jacobian, bi, i1, 1.0)
+            self._add_j(jacobian, bi, i2, -1.0)
+            return
+        i_prev = float(ctx.x_prev[bi])
+        if ctx.method == "trap":
+            v_prev = self._v(ctx.x_prev, i1) - self._v(ctx.x_prev, i2)
+            req = 2.0 * self.inductance / ctx.dt
+            residual[bi] += v_now + v_prev - req * (current - i_prev)
+        else:
+            req = self.inductance / ctx.dt
+            residual[bi] += v_now - req * (current - i_prev)
+        self._add_j(jacobian, bi, i1, 1.0)
+        self._add_j(jacobian, bi, i2, -1.0)
+        jacobian[bi, bi] += -req
+
+    def card(self):
+        return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.inductance:g}"
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+class VoltageSource(Element):
+    """Independent voltage source with optional time waveform."""
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, n_pos: str, n_neg: str, dc: float = 0.0,
+                 waveform=None):
+        super().__init__(name, (n_pos, n_neg))
+        self.dc = float(dc)
+        self.waveform = waveform
+
+    def value(self, ctx: StampContext) -> float:
+        if ctx.mode == "tran" and self.waveform is not None:
+            return float(self.waveform(ctx.time))
+        if self.waveform is not None and ctx.mode == "dc":
+            return float(self.waveform(0.0))
+        return self.dc
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2 = self.node_indices
+        bi = self.branch_index
+        current = float(x[bi])
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, bi, 1.0)
+        self._add_j(jacobian, i2, bi, -1.0)
+        residual[bi] += self._v(x, i1) - self._v(x, i2) - self.value(ctx)
+        self._add_j(jacobian, bi, i1, 1.0)
+        self._add_j(jacobian, bi, i2, -1.0)
+
+    def card(self):
+        return f"{self.name} {self.nodes[0]} {self.nodes[1]} DC {self.dc:g}"
+
+
+class CurrentSource(Element):
+    """Independent current source (positive current flows n+ -> n-)."""
+
+    def __init__(self, name: str, n_pos: str, n_neg: str, dc: float = 0.0,
+                 waveform=None):
+        super().__init__(name, (n_pos, n_neg))
+        self.dc = float(dc)
+        self.waveform = waveform
+
+    def value(self, ctx: StampContext) -> float:
+        if self.waveform is not None:
+            t = ctx.time if ctx.mode == "tran" else 0.0
+            return float(self.waveform(t))
+        return self.dc
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2 = self.node_indices
+        current = self.value(ctx)
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+
+    def card(self):
+        return f"{self.name} {self.nodes[0]} {self.nodes[1]} DC {self.dc:g}"
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source (SPICE ``E`` element)."""
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, n_pos: str, n_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gain: float):
+        super().__init__(name, (n_pos, n_neg, ctrl_pos, ctrl_neg))
+        self.gain = float(gain)
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2, c1, c2 = self.node_indices
+        bi = self.branch_index
+        current = float(x[bi])
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, bi, 1.0)
+        self._add_j(jacobian, i2, bi, -1.0)
+        residual[bi] += (
+            self._v(x, i1) - self._v(x, i2)
+            - self.gain * (self._v(x, c1) - self._v(x, c2))
+        )
+        self._add_j(jacobian, bi, i1, 1.0)
+        self._add_j(jacobian, bi, i2, -1.0)
+        self._add_j(jacobian, bi, c1, -self.gain)
+        self._add_j(jacobian, bi, c2, self.gain)
+
+    def card(self):
+        return f"{self.name} {' '.join(self.nodes)} {self.gain:g}"
+
+
+class VCCS(Element):
+    """Voltage-controlled current source (SPICE ``G`` element)."""
+
+    def __init__(self, name: str, n_pos: str, n_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, transconductance: float):
+        super().__init__(name, (n_pos, n_neg, ctrl_pos, ctrl_neg))
+        self.transconductance = float(transconductance)
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2, c1, c2 = self.node_indices
+        gm = self.transconductance
+        current = gm * (self._v(x, c1) - self._v(x, c2))
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, c1, gm)
+        self._add_j(jacobian, i1, c2, -gm)
+        self._add_j(jacobian, i2, c1, -gm)
+        self._add_j(jacobian, i2, c2, gm)
+
+    def card(self):
+        return f"{self.name} {' '.join(self.nodes)} {self.transconductance:g}"
+
+
+# ----------------------------------------------------------------------
+# nonlinear devices
+# ----------------------------------------------------------------------
+class Diode(Element):
+    """Shockley diode with exponent limiting and gmin."""
+
+    def __init__(self, name: str, anode: str, cathode: str,
+                 saturation_current: float = 1e-14, emission: float = 1.0,
+                 thermal_voltage: float = 0.02585):
+        if saturation_current <= 0 or emission <= 0 or thermal_voltage <= 0:
+            raise ValueError(f"{name}: diode parameters must be positive")
+        super().__init__(name, (anode, cathode))
+        self.saturation_current = float(saturation_current)
+        self.emission = float(emission)
+        self.thermal_voltage = float(thermal_voltage)
+
+    def current_and_conductance(self, v: float) -> tuple[float, float]:
+        nvt = self.emission * self.thermal_voltage
+        value, derivative = _limited_exp(v / nvt)
+        current = self.saturation_current * (value - 1.0)
+        conductance = self.saturation_current * derivative / nvt
+        return current, conductance
+
+    def stamp(self, jacobian, residual, x, ctx):
+        i1, i2 = self.node_indices
+        v = self._v(x, i1) - self._v(x, i2)
+        current, g = self.current_and_conductance(v)
+        g += ctx.gmin
+        current += ctx.gmin * v
+        self._add(residual, i1, current)
+        self._add(residual, i2, -current)
+        self._add_j(jacobian, i1, i1, g)
+        self._add_j(jacobian, i1, i2, -g)
+        self._add_j(jacobian, i2, i1, -g)
+        self._add_j(jacobian, i2, i2, g)
+
+    def card(self):
+        return (
+            f"{self.name} {self.nodes[0]} {self.nodes[1]} "
+            f"IS={self.saturation_current:g} N={self.emission:g}"
+        )
+
+
+class MOSFET(Element):
+    """Level-1 (square-law) MOSFET with channel-length modulation.
+
+    Terminals are (drain, gate, source); the body is tied to the source
+    (no body effect — acceptable for the single-well testbenches here and
+    documented in DESIGN.md). ``vds < 0`` is handled by internally
+    swapping drain and source, so the device conducts symmetrically.
+
+    Parameters
+    ----------
+    kp:
+        Process transconductance ``k' = mu Cox`` in A/V^2.
+    vth:
+        Threshold voltage (positive for NMOS, negative for PMOS).
+    lambda_:
+        Channel-length modulation in 1/V.
+    w, l:
+        Channel width/length in metres.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 polarity: str = "nmos", w: float = 1e-6, l: float = 1e-6,
+                 kp: float = 2e-4, vth: float = 0.5, lambda_: float = 0.05):
+        if polarity not in ("nmos", "pmos"):
+            raise ValueError(f"{name}: polarity must be 'nmos' or 'pmos'")
+        if w <= 0 or l <= 0 or kp <= 0:
+            raise ValueError(f"{name}: w, l and kp must be positive")
+        super().__init__(name, (drain, gate, source))
+        self.polarity = polarity
+        self.w, self.l = float(w), float(l)
+        self.kp = float(kp)
+        self.vth = float(vth)
+        self.lambda_ = float(lambda_)
+
+    @property
+    def beta(self) -> float:
+        return self.kp * self.w / self.l
+
+    def _ids(self, vgs: float, vds: float) -> tuple[float, float, float]:
+        """Square-law drain current and (gm, gds) for vds >= 0 (NMOS frame)."""
+        vov = vgs - abs(self.vth) if self.polarity == "nmos" else vgs - abs(self.vth)
+        lam = self.lambda_
+        if vov <= 0.0:
+            return 0.0, 0.0, 0.0
+        if vds < vov:  # triode
+            ids = self.beta * (vov * vds - 0.5 * vds * vds) * (1 + lam * vds)
+            gm = self.beta * vds * (1 + lam * vds)
+            gds = (
+                self.beta * (vov - vds) * (1 + lam * vds)
+                + self.beta * (vov * vds - 0.5 * vds * vds) * lam
+            )
+        else:  # saturation
+            ids = 0.5 * self.beta * vov * vov * (1 + lam * vds)
+            gm = self.beta * vov * (1 + lam * vds)
+            gds = 0.5 * self.beta * vov * vov * lam
+        return ids, gm, gds
+
+    def operating_point(self, x: np.ndarray) -> dict:
+        """Named small-signal quantities at the solution ``x``."""
+        ids, gm, gds, _ = self._evaluate(x)
+        return {"ids": ids, "gm": gm, "gds": gds}
+
+    def _evaluate(self, x) -> tuple[float, float, float, bool]:
+        """Drain current (drain->source positive) in circuit frame.
+
+        Returns ``(id, gm, gds, swapped)`` where the derivatives are with
+        respect to the *effective* (possibly swapped) terminals.
+        """
+        d, g, s = self.node_indices
+        vd, vg, vs = self._v(x, d), self._v(x, g), self._v(x, s)
+        if self.polarity == "pmos":
+            # Analyze the PMOS in the NMOS frame by mirroring voltages.
+            vd, vg, vs = -vd, -vg, -vs
+        swapped = vd < vs
+        if swapped:
+            vd, vs = vs, vd
+        vgs, vds = vg - vs, vd - vs
+        ids, gm, gds = self._ids(vgs, vds)
+        return ids, gm, gds, swapped
+
+    def stamp(self, jacobian, residual, x, ctx):
+        d_idx, g_idx, s_idx = self.node_indices
+        ids, gm, gds, swapped = self._evaluate(x)
+        sign = -1.0 if self.polarity == "pmos" else 1.0
+        if swapped:
+            eff_d, eff_s = s_idx, d_idx
+        else:
+            eff_d, eff_s = d_idx, s_idx
+        current = sign * ids
+        # KCL: current flows from effective drain to effective source.
+        self._add(residual, eff_d, current)
+        self._add(residual, eff_s, -current)
+        # In the mirrored/swapped frame, d(current)/d(node voltage) picks
+        # up the same sign twice (once for the current sign, once for the
+        # mirrored voltages), so the conductances stamp positively.
+        self._add_j(jacobian, eff_d, g_idx, gm)
+        self._add_j(jacobian, eff_d, eff_d, gds)
+        self._add_j(jacobian, eff_d, eff_s, -(gm + gds))
+        self._add_j(jacobian, eff_s, g_idx, -gm)
+        self._add_j(jacobian, eff_s, eff_d, -gds)
+        self._add_j(jacobian, eff_s, eff_s, gm + gds)
+        # gmin across drain-source for convergence
+        v_ds_real = self._v(x, d_idx) - self._v(x, s_idx)
+        leak = ctx.gmin * v_ds_real
+        self._add(residual, d_idx, leak)
+        self._add(residual, s_idx, -leak)
+        self._add_j(jacobian, d_idx, d_idx, ctx.gmin)
+        self._add_j(jacobian, d_idx, s_idx, -ctx.gmin)
+        self._add_j(jacobian, s_idx, d_idx, -ctx.gmin)
+        self._add_j(jacobian, s_idx, s_idx, ctx.gmin)
+
+    def card(self):
+        return (
+            f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.nodes[2]} "
+            f"{self.polarity.upper()} W={self.w:g} L={self.l:g}"
+        )

@@ -1,0 +1,147 @@
+"""Circuit netlist representation for the MNA simulator.
+
+The paper evaluates its optimizer on transistor-level simulations run at
+two precision levels. Offline we cannot call HSPICE/ngspice, so
+:mod:`repro.spice` provides a small but real circuit simulator: a
+modified-nodal-analysis (MNA) engine with Newton DC solve and
+BE/trapezoidal transient integration. The power-amplifier testbench of
+§5.1 runs on this engine, with the transient duration as the fidelity
+knob — exactly the paper's 10 ns vs 200 ns protocol.
+
+A :class:`Circuit` is a bag of named nodes and elements; node ``"0"``
+(alias ``"gnd"``) is ground. Element classes live in
+:mod:`repro.spice.elements`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .elements import Element, Inductor, VoltageSource
+
+__all__ = ["Circuit", "GROUND_NAMES"]
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """A flat netlist plus the node/branch numbering used by MNA.
+
+    Unknown vector layout: ``x = [v_1 .. v_n, i_1 .. i_m]`` where the
+    ``v_k`` are non-ground node voltages and the ``i_k`` are branch
+    currents of voltage-defined elements (voltage sources and inductors).
+
+    Examples
+    --------
+    >>> from repro.spice import Circuit, Resistor, VoltageSource
+    >>> c = Circuit("divider")
+    >>> _ = c.add(VoltageSource("V1", "in", "0", dc=10.0))
+    >>> _ = c.add(Resistor("R1", "in", "mid", 1e3))
+    >>> _ = c.add(Resistor("R2", "mid", "0", 1e3))
+    >>> c.n_nodes, c.n_branches
+    (2, 1)
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.elements: list[Element] = []
+        self._node_index: dict[str, int] = {}
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add an element; returns it for chaining."""
+        if any(e.name == element.name for e in self.elements):
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self.elements.append(element)
+        self._dirty = True
+        return element
+
+    def element(self, name: str) -> Element:
+        """Look one element up by name."""
+        for e in self.elements:
+            if e.name == name:
+                return e
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        self._elaborate_if_needed()
+        return len(self._node_index)
+
+    @property
+    def n_branches(self) -> int:
+        """Number of branch-current unknowns."""
+        self._elaborate_if_needed()
+        return sum(1 for e in self.elements if e.needs_branch_current)
+
+    @property
+    def size(self) -> int:
+        """Total number of MNA unknowns."""
+        return self.n_nodes + self.n_branches
+
+    def _elaborate_if_needed(self) -> None:
+        """Assign node and branch indices (idempotent)."""
+        if not self._dirty:
+            return
+        self._node_index = {}
+        for e in self.elements:
+            for node in e.nodes:
+                if node in GROUND_NAMES:
+                    continue
+                if node not in self._node_index:
+                    self._node_index[node] = len(self._node_index)
+        branch_counter = len(self._node_index)
+        for e in self.elements:
+            if e.needs_branch_current:
+                e.branch_index = branch_counter
+                branch_counter += 1
+            else:
+                e.branch_index = None
+        size = branch_counter
+        for e in self.elements:
+            e.node_indices = tuple(
+                -1 if node in GROUND_NAMES else self._node_index[node]
+                for node in e.nodes
+            )
+            e.validate(size)
+        self._dirty = False
+
+    def node_index(self, node: str) -> int:
+        """MNA index of a node voltage (-1 for ground)."""
+        self._elaborate_if_needed()
+        if node in GROUND_NAMES:
+            return -1
+        return self._node_index[node]
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Extract a node voltage from a solution vector."""
+        idx = self.node_index(node)
+        return 0.0 if idx < 0 else float(x[idx])
+
+    def branch_current(self, x: np.ndarray, element_name: str) -> float:
+        """Extract the branch current of a voltage source or inductor."""
+        self._elaborate_if_needed()
+        e = self.element(element_name)
+        if not isinstance(e, (VoltageSource, Inductor)):
+            raise TypeError(
+                f"{element_name!r} has no branch current "
+                "(only voltage sources and inductors do)"
+            )
+        return float(x[e.branch_index])
+
+    # ------------------------------------------------------------------
+    def netlist_text(self) -> str:
+        """SPICE-flavoured textual dump (documentation / Fig. 4 artifact)."""
+        lines = [f"* {self.name}"]
+        lines += [e.card() for e in self.elements]
+        lines.append(".end")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, {len(self.elements)} elements, "
+            f"{self.n_nodes} nodes)"
+        )

@@ -1,0 +1,118 @@
+"""Tests for repro.baselines (WEIBO, GASPAD, DE)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GASPAD, WEIBO, DEOptimizer
+from repro.problems import FIDELITY_HIGH, ForresterProblem, GardnerProblem
+
+
+class TestWEIBO:
+    def test_forrester_convergence(self):
+        result = WEIBO(
+            ForresterProblem(), budget=18, n_init=6, seed=0,
+            msp_starts=40, msp_polish=2, n_restarts=1,
+        ).run()
+        assert result.best_objective == pytest.approx(-6.0207, abs=0.2)
+
+    def test_budget_is_exact_simulation_count(self):
+        result = WEIBO(
+            ForresterProblem(), budget=10, n_init=5, seed=1,
+            msp_starts=30, msp_polish=1, n_restarts=1,
+        ).run()
+        assert result.history.n_evaluations(FIDELITY_HIGH) == 10
+
+    def test_constrained_gardner(self):
+        result = WEIBO(
+            GardnerProblem(), budget=20, n_init=8, seed=2,
+            msp_starts=40, msp_polish=1, n_restarts=1,
+        ).run()
+        assert result.feasible
+
+    def test_only_highest_fidelity_used(self):
+        result = WEIBO(
+            ForresterProblem(), budget=8, n_init=5, seed=3,
+            msp_starts=20, msp_polish=0, n_restarts=1,
+        ).run()
+        assert all(
+            r.fidelity == FIDELITY_HIGH for r in result.history.records
+        )
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            WEIBO(ForresterProblem(), budget=5, n_init=10)
+
+    def test_algorithm_name(self):
+        result = WEIBO(
+            ForresterProblem(), budget=6, n_init=5, seed=4,
+            msp_starts=20, msp_polish=0, n_restarts=1,
+        ).run()
+        assert result.algorithm == "WEIBO"
+
+
+class TestGASPAD:
+    def test_improves_over_initial_design(self):
+        result = GASPAD(
+            GardnerProblem(), budget=30, n_init=12, pop_size=8, seed=0,
+        ).run()
+        initial_best = min(
+            r.objective
+            for r in result.history.records[:12]
+            if r.feasible
+        ) if any(r.feasible for r in result.history.records[:12]) else np.inf
+        assert result.best_objective <= initial_best
+
+    def test_budget_is_exact(self):
+        result = GASPAD(
+            ForresterProblem(), budget=15, n_init=8, pop_size=6, seed=1,
+        ).run()
+        assert result.history.n_evaluations(FIDELITY_HIGH) == 15
+
+    def test_unconstrained_problem(self):
+        result = GASPAD(
+            ForresterProblem(), budget=25, n_init=10, pop_size=6, seed=2,
+        ).run()
+        assert result.best_objective < -4.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            GASPAD(ForresterProblem(), budget=5, n_init=10)
+        with pytest.raises(ValueError):
+            GASPAD(ForresterProblem(), budget=20, n_init=10, pop_size=2)
+
+
+class TestDEOptimizer:
+    def test_converges_with_generous_budget(self):
+        result = DEOptimizer(
+            ForresterProblem(), budget=300, pop_size=12, seed=0,
+        ).run()
+        assert result.best_objective == pytest.approx(-6.0207, abs=0.3)
+
+    def test_budget_never_exceeded(self):
+        result = DEOptimizer(
+            ForresterProblem(), budget=53, pop_size=10, seed=1,
+        ).run()
+        assert result.history.n_evaluations(FIDELITY_HIGH) <= 53
+
+    def test_constrained_feasibility_rules(self):
+        result = DEOptimizer(
+            GardnerProblem(), budget=200, pop_size=15, seed=2,
+        ).run()
+        assert result.feasible
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            DEOptimizer(ForresterProblem(), budget=5, pop_size=10)
+
+
+class TestBaselineComparison:
+    def test_bo_beats_de_at_small_budget(self):
+        """The paper's core premise: model-based methods dominate plain
+        evolution when simulations are scarce."""
+        weibo = WEIBO(
+            ForresterProblem(), budget=15, n_init=6, seed=7,
+            msp_starts=40, msp_polish=1, n_restarts=1,
+        ).run()
+        de = DEOptimizer(ForresterProblem(), budget=15, pop_size=5,
+                         seed=7).run()
+        assert weibo.best_objective <= de.best_objective + 1e-9

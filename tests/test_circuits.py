@@ -1,0 +1,224 @@
+"""Tests for repro.circuits (PVT corners, PA testbench, charge pump)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ChargePumpProblem,
+    Corner,
+    N_CORNERS,
+    PowerAmplifierProblem,
+    all_corners,
+    build_pa_circuit,
+    charge_pump_currents,
+    simulate_pa,
+    typical_corner,
+)
+from repro.circuits.charge_pump import DEVICE_NAMES
+from repro.problems import FIDELITY_HIGH, FIDELITY_LOW
+
+
+class TestPVT:
+    def test_27_corners(self):
+        corners = all_corners()
+        assert len(corners) == N_CORNERS == 27
+        assert len({c.name for c in corners}) == 27
+
+    def test_typical_corner_first(self):
+        assert all_corners()[0].is_typical
+
+    def test_typical_corner_identity(self):
+        corner = typical_corner()
+        assert corner.vth_shift == pytest.approx(0.0)
+        assert corner.mobility_factor == pytest.approx(1.0, abs=1e-3)
+        assert corner.skew == pytest.approx(0.0, abs=1e-6)
+
+    def test_temperature_lowers_mobility(self):
+        hot = Corner("tt", 1.0, 125.0)
+        cold = Corner("tt", 1.0, -40.0)
+        assert hot.mobility_factor < 1.0 < cold.mobility_factor
+
+    def test_temperature_lowers_vth(self):
+        hot = Corner("tt", 1.0, 125.0)
+        assert hot.vth_shift < 0.0
+
+    def test_process_ordering(self):
+        ss, ff = Corner("ss", 1.0, 27.0), Corner("ff", 1.0, 27.0)
+        assert ss.vth_shift > ff.vth_shift
+        assert ss.mobility_factor < ff.mobility_factor
+        assert ss.skew < 0 < ff.skew
+
+    def test_skew_bounded(self):
+        for corner in all_corners():
+            assert -1.0 <= corner.skew <= 1.0
+
+    def test_vdd_scaling(self):
+        assert Corner("tt", 0.9, 27.0).vdd(1.1) == pytest.approx(0.99)
+
+    def test_invalid_process(self):
+        with pytest.raises(ValueError):
+            Corner("xx", 1.0, 27.0)
+
+
+class TestPowerAmplifier:
+    def test_netlist_structure(self):
+        circuit = build_pa_circuit(250e-12, 640e-12, 500e-6, 2.5, 1.5)
+        names = {e.name for e in circuit.elements}
+        assert {"VDD", "VG", "Lchoke", "M1", "Cp", "Cs", "Ls", "RL"} == names
+
+    def test_good_design_metrics(self):
+        metrics = simulate_pa(250e-12, 640e-12, 500e-6, 2.5, 1.5,
+                              FIDELITY_HIGH)
+        assert 40.0 < metrics["Eff"] < 100.0
+        assert 15.0 < metrics["Pout"] < 30.0
+        assert np.isfinite(metrics["thd"])
+
+    def test_fidelities_differ_nonlinearly(self):
+        low = simulate_pa(250e-12, 640e-12, 500e-6, 2.5, 1.5, FIDELITY_LOW)
+        high = simulate_pa(250e-12, 640e-12, 500e-6, 2.5, 1.5, FIDELITY_HIGH)
+        assert abs(low["Eff"] - high["Eff"]) > 1.0
+
+    def test_cost_ratio_is_20(self):
+        problem = PowerAmplifierProblem()
+        ratio = problem.cost(FIDELITY_HIGH) / problem.cost(FIDELITY_LOW)
+        assert ratio == pytest.approx(20.0)
+
+    def test_problem_interface(self):
+        problem = PowerAmplifierProblem()
+        assert problem.dim == 5
+        assert problem.n_constraints == 2
+        evaluation = problem.evaluate_unit(
+            np.full(5, 0.5), FIDELITY_LOW
+        )
+        assert evaluation.objective == pytest.approx(
+            -evaluation.metrics["Eff"]
+        )
+
+    def test_constraint_signs(self):
+        problem = PowerAmplifierProblem(pout_min_dbm=-100.0, thd_max_db=1000.0)
+        evaluation = problem.evaluate_unit(np.full(5, 0.5), FIDELITY_LOW)
+        assert evaluation.feasible  # trivially loose constraints
+
+    def test_efficiency_physical(self):
+        # efficiency can never meaningfully exceed 100%
+        rng = np.random.default_rng(0)
+        problem = PowerAmplifierProblem()
+        for _ in range(3):
+            evaluation = problem.evaluate_unit(rng.random(5), FIDELITY_LOW)
+            assert evaluation.metrics["Eff"] <= 120.0
+
+
+class TestChargePumpModel:
+    def good_design(self):
+        sizes = dict(
+            MB1=(5, 0.5), MB2=(20, 0.5), MB3=(8, 0.4), MB4=(8, 0.4),
+            MB5=(1, 0.5), MB6=(40, 0.05),
+            MPref=(5, 0.75), MPmir=(40, 1.0), MPcas=(40, 0.05),
+            MPsw=(10, 0.1),
+            MNref=(5, 0.75), MNmir=(40, 1.0), MNcas=(40, 0.05),
+            MNsw=(10, 0.1),
+            MD1=(40, 0.05), MD2=(40, 0.05), MD3=(40, 0.05), MD4=(40, 0.05),
+        )
+        return np.array([v for n in DEVICE_NAMES for v in sizes[n]])
+
+    def test_currents_structure(self):
+        currents = charge_pump_currents(self.good_design(), typical_corner())
+        assert currents["i_m1"].shape == (9,)
+        assert np.all(currents["i_m1"] > 0)
+        assert np.all(currents["i_m1_peak"] >= currents["i_m1"])
+
+    def test_good_design_near_target(self):
+        currents = charge_pump_currents(self.good_design(), typical_corner())
+        assert np.mean(currents["i_m1"]) == pytest.approx(40.0, abs=5.0)
+        assert np.mean(currents["i_m2"]) == pytest.approx(40.0, abs=5.0)
+
+    def test_good_design_feasible_at_all_corners(self):
+        problem = ChargePumpProblem()
+        evaluation = problem.evaluate(self.good_design(), FIDELITY_HIGH)
+        assert evaluation.feasible
+        assert evaluation.metrics["FOM"] < 10.0
+
+    def test_worst_case_fom_exceeds_typical(self):
+        problem = ChargePumpProblem()
+        x = self.good_design()
+        low = problem.evaluate(x, FIDELITY_LOW)
+        high = problem.evaluate(x, FIDELITY_HIGH)
+        assert high.metrics["FOM"] >= low.metrics["FOM"] - 1e-9
+
+    def test_fom_formula(self):
+        problem = ChargePumpProblem()
+        metrics = problem.evaluate(self.good_design(), FIDELITY_HIGH).metrics
+        expected = (
+            0.3 * (metrics["max_diff1"] + metrics["max_diff2"]
+                   + metrics["max_diff3"] + metrics["max_diff4"])
+            + 0.5 * metrics["deviation"]
+        )
+        assert metrics["FOM"] == pytest.approx(expected)
+
+    def test_larger_area_reduces_mismatch_impact(self):
+        x_small = self.good_design()
+        x_large = x_small.copy()
+        # grow the mirror + dummy areas (W entries of MPmir/MPref/MD1/MD2)
+        for name in ("MPref", "MPmir", "MD1", "MD2"):
+            idx = 2 * DEVICE_NAMES.index(name)
+            x_small[idx] = 1.0
+        corner = Corner("ff", 1.1, -40.0)  # strongly skewed corner
+        small = charge_pump_currents(x_small, corner)
+        large = charge_pump_currents(x_large, corner)
+        # mismatch contribution shows as |avg - nominal| gap
+        small_gap = abs(np.mean(small["i_m1"]) - small["i_up_nom"])
+        large_gap = abs(np.mean(large["i_m1"]) - large["i_up_nom"])
+        assert large_gap <= small_gap + 1e-6
+
+    def test_longer_mirror_reduces_ripple(self):
+        x_short = self.good_design()
+        x_long = x_short.copy()
+        idx = 2 * DEVICE_NAMES.index("MPmir") + 1
+        x_short[idx] = 0.05
+        x_long[idx] = 1.0
+        corner = typical_corner()
+        ripple = lambda c: float(np.max(c["i_m1"]) - np.min(c["i_m1"]))
+        assert (ripple(charge_pump_currents(x_long, corner))
+                <= ripple(charge_pump_currents(x_short, corner)) + 1e-9)
+
+    def test_deterministic(self):
+        x = self.good_design()
+        corner = Corner("ss", 0.9, 125.0)
+        a = charge_pump_currents(x, corner)
+        b = charge_pump_currents(x, corner)
+        np.testing.assert_array_equal(a["i_m1"], b["i_m1"])
+
+    def test_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            charge_pump_currents(np.ones(10), typical_corner())
+
+
+class TestChargePumpProblem:
+    def test_dimensions(self):
+        problem = ChargePumpProblem()
+        assert problem.dim == 36
+        assert problem.n_constraints == 5
+        assert problem.cost(FIDELITY_LOW) == pytest.approx(1.0 / 27.0)
+
+    def test_constraint_thresholds(self):
+        problem = ChargePumpProblem()
+        evaluation = problem.evaluate_unit(np.full(36, 0.5), FIDELITY_LOW)
+        metrics = evaluation.metrics
+        limits = problem.LIMITS
+        expected = np.array([
+            metrics["max_diff1"] - limits[0],
+            metrics["max_diff2"] - limits[1],
+            metrics["max_diff3"] - limits[2],
+            metrics["max_diff4"] - limits[3],
+            metrics["deviation"] - limits[4],
+        ])
+        np.testing.assert_allclose(evaluation.constraints, expected)
+
+    def test_random_designs_rarely_feasible(self):
+        problem = ChargePumpProblem()
+        rng = np.random.default_rng(0)
+        flags = [
+            problem.evaluate_unit(rng.random(36), FIDELITY_HIGH).feasible
+            for _ in range(25)
+        ]
+        assert sum(flags) <= 2  # needle in a haystack, like the paper

@@ -1,0 +1,41 @@
+"""Tests for the `python -m repro.experiments` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main
+
+
+class TestCLI:
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "charge pump device inventory" in out
+        assert "class-e-pa" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "EI peak" in out
+
+    def test_abl1_runs(self, capsys):
+        assert main(["abl1"]) == 0
+        out = capsys.readouterr().out
+        assert "NARGP RMSE" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tab99"])
+
+    def test_artifact_list_complete(self):
+        assert set(ARTIFACTS) == {
+            "fig1", "fig2", "fig3", "fig4", "tab1", "tab2",
+            "abl1", "abl2", "abl3",
+        }
+
+    def test_full_flag_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        # fig4 is instant even at full scale
+        assert main(["fig4", "--full"]) == 0
+        import os
+
+        assert os.environ.get("REPRO_FULL") == "1"

@@ -1,0 +1,164 @@
+"""Tests for repro.core: history, fidelity selection, result container."""
+
+import numpy as np
+import pytest
+
+from repro.core import BOResult, FidelitySelector, History
+from repro.gp import GPR
+from repro.problems import (
+    FIDELITY_HIGH,
+    FIDELITY_LOW,
+    Evaluation,
+    ForresterProblem,
+    GardnerProblem,
+)
+
+
+def make_evaluation(objective, constraints=(), fidelity=FIDELITY_HIGH,
+                    cost=1.0):
+    return Evaluation(
+        objective=float(objective),
+        constraints=np.asarray(constraints, dtype=float),
+        fidelity=fidelity,
+        cost=cost,
+        metrics={},
+    )
+
+
+class TestEvaluation:
+    def test_feasibility(self):
+        assert make_evaluation(0.0, [-1.0, -0.5]).feasible
+        assert not make_evaluation(0.0, [-1.0, 0.5]).feasible
+        assert make_evaluation(0.0, []).feasible  # unconstrained
+
+    def test_total_violation(self):
+        e = make_evaluation(0.0, [-1.0, 2.0, 3.0])
+        assert e.total_violation == pytest.approx(5.0)
+        assert make_evaluation(0.0, [-1.0]).total_violation == 0.0
+
+
+class TestHistory:
+    def test_cost_accounting(self):
+        history = History()
+        history.add(np.array([0.5]), make_evaluation(1.0, cost=1.0))
+        history.add(np.array([0.6]),
+                    make_evaluation(2.0, fidelity=FIDELITY_LOW, cost=0.05))
+        assert history.total_cost == pytest.approx(1.05)
+        assert history.n_evaluations() == 2
+        assert history.n_evaluations(FIDELITY_LOW) == 1
+
+    def test_data_arrays(self):
+        history = History()
+        history.add(np.array([0.1, 0.2]), make_evaluation(1.0, [-1.0]))
+        history.add(np.array([0.3, 0.4]), make_evaluation(2.0, [0.5]))
+        x, y, constraints = history.data(FIDELITY_HIGH)
+        assert x.shape == (2, 2)
+        np.testing.assert_array_equal(y, [1.0, 2.0])
+        assert constraints.shape == (2, 1)
+
+    def test_data_missing_fidelity_raises(self):
+        with pytest.raises(ValueError):
+            History().data(FIDELITY_HIGH)
+
+    def test_best_feasible_and_violation_fallback(self):
+        history = History()
+        history.add(np.array([0.1]), make_evaluation(1.0, [0.5]))   # infeasible
+        history.add(np.array([0.2]), make_evaluation(5.0, [-0.1]))  # feasible
+        history.add(np.array([0.3]), make_evaluation(2.0, [-0.1]))  # feasible
+        best = history.best_feasible(FIDELITY_HIGH)
+        assert best.objective == 2.0
+        assert history.incumbent(FIDELITY_HIGH).objective == 2.0
+
+    def test_incumbent_without_feasible_uses_violation(self):
+        history = History()
+        history.add(np.array([0.1]), make_evaluation(1.0, [5.0]))
+        history.add(np.array([0.2]), make_evaluation(9.0, [0.5]))
+        assert history.best_feasible(FIDELITY_HIGH) is None
+        assert history.incumbent(FIDELITY_HIGH).objective == 9.0
+
+    def test_objective_trace_monotone(self):
+        history = History()
+        for value in [5.0, 3.0, 4.0, 1.0]:
+            history.add(np.array([0.5]), make_evaluation(value, [-1.0]))
+        trace = history.objective_trace(FIDELITY_HIGH)
+        assert trace.shape == (4, 2)
+        assert np.all(np.diff(trace[:, 1]) <= 0)
+        np.testing.assert_allclose(trace[:, 0], [1, 2, 3, 4])
+
+
+class TestFidelitySelector:
+    def _confident_model(self, rng):
+        x = np.linspace(0, 1, 40)[:, None]
+        return GPR().fit(x, np.sin(3 * x[:, 0]), n_restarts=1, rng=rng)
+
+    def test_low_variance_promotes_to_high(self):
+        rng = np.random.default_rng(0)
+        model = self._confident_model(rng)
+        selector = FidelitySelector(gamma=0.01)
+        # right on top of training data: tiny variance
+        assert selector.select(np.array([0.5]), [model]) == FIDELITY_HIGH
+
+    def test_high_variance_stays_low(self):
+        rng = np.random.default_rng(1)
+        x = np.array([[0.0], [1.0]])
+        model = GPR().fit(x, np.array([0.0, 1.0]), n_restarts=1, rng=rng)
+        selector = FidelitySelector(gamma=1e-6)
+        assert selector.select(np.array([0.5]), [model]) == FIDELITY_LOW
+
+    def test_constrained_threshold_scales(self):
+        rng = np.random.default_rng(2)
+        model = self._confident_model(rng)
+        # worst output variance is shared; with more constraints the
+        # threshold loosens, so a borderline point flips to high
+        borderline = np.array([0.987])
+        tight = FidelitySelector(gamma=1e-9)
+        assert tight.select(borderline, [model]) == FIDELITY_LOW
+
+    def test_gamma_monotonicity(self):
+        rng = np.random.default_rng(3)
+        model = self._confident_model(rng)
+        x = np.array([0.731])
+        results = [
+            FidelitySelector(gamma=g).select(x, [model])
+            for g in (1e-8, 1e-2, 1e2)
+        ]
+        # once promoted at some gamma, stays promoted for larger gamma
+        promoted = [r == FIDELITY_HIGH for r in results]
+        assert promoted == sorted(promoted)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            FidelitySelector(gamma=0.0)
+
+    def test_empty_models_raise(self):
+        with pytest.raises(ValueError):
+            FidelitySelector().select(np.array([0.5]), [])
+
+
+class TestBOResult:
+    def test_from_history(self):
+        problem = GardnerProblem()
+        history = History()
+        history.add(np.array([0.5, 0.5]),
+                    problem.evaluate_unit([0.5, 0.5], FIDELITY_HIGH))
+        history.add(np.array([0.2, 0.8]),
+                    problem.evaluate_unit([0.2, 0.8], FIDELITY_HIGH))
+        result = BOResult.from_history(problem, history, "test")
+        assert result.algorithm == "test"
+        assert result.best_x.shape == (2,)
+        assert np.isfinite(result.best_objective)
+
+    def test_empty_history_raises(self):
+        with pytest.raises((RuntimeError, ValueError)):
+            BOResult.from_history(ForresterProblem(), History(), "test")
+
+    def test_summary_keys(self):
+        problem = ForresterProblem()
+        history = History()
+        history.add(np.array([0.5]),
+                    problem.evaluate_unit([0.5], FIDELITY_HIGH))
+        result = BOResult.from_history(problem, history, "algo")
+        summary = result.summary()
+        for key in ("problem", "algorithm", "objective", "feasible",
+                    "n_low", "n_high", "equivalent_cost"):
+            assert key in summary

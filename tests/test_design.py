@@ -1,0 +1,163 @@
+"""Tests for repro.design (spaces + sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import (
+    DesignSpace,
+    Variable,
+    gaussian_ball,
+    latin_hypercube,
+    maximin_latin_hypercube,
+    uniform,
+)
+
+
+class TestVariable:
+    def test_linear_roundtrip(self):
+        v = Variable("x", -2.0, 6.0)
+        values = np.array([-2.0, 0.0, 6.0])
+        np.testing.assert_allclose(v.from_unit(v.to_unit(values)), values)
+        assert v.to_unit(2.0) == pytest.approx(0.5)
+
+    def test_log_scale_roundtrip(self):
+        v = Variable("c", 1e-12, 1e-9, log_scale=True)
+        values = np.array([1e-12, 1e-10, 1e-9])
+        np.testing.assert_allclose(
+            v.from_unit(v.to_unit(values)), values, rtol=1e-10
+        )
+        # geometric midpoint maps to 0.5
+        assert v.to_unit(np.sqrt(1e-12 * 1e-9)) == pytest.approx(0.5)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Variable("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Variable("x", 2.0, 1.0)
+        with pytest.raises(ValueError):
+            Variable("x", -1.0, 1.0, log_scale=True)
+        with pytest.raises(ValueError):
+            Variable("x", np.nan, 1.0)
+
+
+class TestDesignSpace:
+    def make_space(self):
+        return DesignSpace([
+            Variable("a", 0.0, 10.0),
+            Variable("b", 1e-6, 1e-3, log_scale=True),
+        ])
+
+    def test_basic_properties(self):
+        space = self.make_space()
+        assert space.dim == len(space) == 2
+        assert space.names == ["a", "b"]
+        np.testing.assert_allclose(space.lower, [0.0, 1e-6])
+        np.testing.assert_allclose(space.upper, [10.0, 1e-3])
+
+    def test_roundtrip_batch(self):
+        space = self.make_space()
+        rng = np.random.default_rng(0)
+        u = rng.random((20, 2))
+        np.testing.assert_allclose(
+            space.to_unit(space.from_unit(u)), u, rtol=1e-10
+        )
+
+    def test_single_point_shape(self):
+        space = self.make_space()
+        x = space.from_unit(np.array([0.5, 0.5]))
+        assert x.shape == (2,)
+
+    def test_getitem_and_duplicates(self):
+        space = self.make_space()
+        assert space["a"].upper == 10.0
+        with pytest.raises(KeyError):
+            space["missing"]
+        with pytest.raises(ValueError):
+            DesignSpace([Variable("x", 0, 1), Variable("x", 0, 1)])
+
+    def test_contains(self):
+        space = self.make_space()
+        inside = np.array([[5.0, 1e-4]])
+        outside = np.array([[11.0, 1e-4]])
+        assert space.contains(inside)[0]
+        assert not space.contains(outside)[0]
+
+    def test_as_dict(self):
+        space = self.make_space()
+        d = space.as_dict(np.array([1.0, 1e-5]))
+        assert d == {"a": 1.0, "b": 1e-5}
+
+    def test_from_bounds(self):
+        space = DesignSpace.from_bounds([0, -1], [1, 1], names=["p", "q"])
+        assert space.names == ["p", "q"]
+        with pytest.raises(ValueError):
+            DesignSpace.from_bounds([0], [1, 2])
+
+    def test_wrong_dim_raises(self):
+        with pytest.raises(ValueError):
+            self.make_space().from_unit(np.ones((3, 5)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        space = self.make_space()
+        u = rng.random((5, 2))
+        np.testing.assert_allclose(
+            space.to_unit(space.from_unit(u)), u, rtol=1e-9, atol=1e-9
+        )
+
+
+class TestSampling:
+    def test_uniform_bounds_and_shape(self):
+        pts = uniform(50, 3, np.random.default_rng(0))
+        assert pts.shape == (50, 3)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+    def test_lhs_stratification(self):
+        n = 20
+        pts = latin_hypercube(n, 2, np.random.default_rng(1))
+        for j in range(2):
+            strata = np.floor(pts[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=1, max_value=5),
+           st.integers(0, 2**31 - 1))
+    def test_property_lhs_one_point_per_stratum(self, n, dim, seed):
+        pts = latin_hypercube(n, dim, np.random.default_rng(seed))
+        for j in range(dim):
+            strata = np.floor(pts[:, j] * n).astype(int)
+            assert len(set(strata.tolist())) == n
+
+    def test_lhs_empty(self):
+        assert latin_hypercube(0, 3).shape == (0, 3)
+
+    def test_maximin_at_least_as_spread(self):
+        rng = np.random.default_rng(2)
+        def min_dist(p):
+            d = np.linalg.norm(p[:, None] - p[None, :], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return d.min()
+        best = maximin_latin_hypercube(12, 2, rng, n_candidates=10)
+        plain = latin_hypercube(12, 2, np.random.default_rng(2))
+        assert min_dist(best) >= 0.5 * min_dist(plain)  # not worse by much
+
+    def test_gaussian_ball_clipping_and_center(self):
+        center = np.array([0.05, 0.95])
+        pts = gaussian_ball(center, 200, 0.1, np.random.default_rng(3))
+        assert pts.min() >= 0 and pts.max() <= 1
+        assert np.linalg.norm(pts.mean(axis=0) - center) < 0.15
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            uniform(-1, 2)
+        with pytest.raises(ValueError):
+            latin_hypercube(5, 0)
+        with pytest.raises(ValueError):
+            gaussian_ball(np.array([0.5]), 5, -1.0)
+        with pytest.raises(ValueError):
+            maximin_latin_hypercube(5, 2, n_candidates=0)

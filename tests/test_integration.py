@@ -1,0 +1,86 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GASPAD,
+    WEIBO,
+    DEOptimizer,
+    MFBOptimizer,
+)
+from repro.circuits import ChargePumpProblem, PowerAmplifierProblem
+from repro.problems import FIDELITY_HIGH, FIDELITY_LOW
+
+FAST = dict(msp_starts=30, msp_polish=1, n_restarts=1, n_mc_samples=6,
+            gp_max_opt_iter=25)
+
+
+@pytest.mark.slow
+class TestPowerAmplifierEndToEnd:
+    def test_mfbo_improves_over_initial_design(self):
+        problem = PowerAmplifierProblem()
+        optimizer = MFBOptimizer(
+            problem, budget=9.0, n_init_low=8, n_init_high=3, seed=0, **FAST,
+        )
+        result = optimizer.run()
+        # uses both simulators and respects the cost model
+        assert result.history.n_evaluations(FIDELITY_LOW) >= 8
+        assert result.history.n_evaluations(FIDELITY_HIGH) >= 3
+        assert result.equivalent_cost <= 10.0 + 1e-9
+        assert np.isfinite(result.best_objective)
+
+    def test_metrics_surface_in_result(self):
+        problem = PowerAmplifierProblem()
+        result = MFBOptimizer(
+            problem, budget=7.0, n_init_low=6, n_init_high=2, seed=1, **FAST,
+        ).run()
+        assert {"Eff", "Pout", "thd"} <= set(result.metrics)
+
+
+@pytest.mark.slow
+class TestChargePumpEndToEnd:
+    def test_mfbo_runs_and_accounts_cost(self):
+        problem = ChargePumpProblem()
+        result = MFBOptimizer(
+            problem, budget=11.8, n_init_low=20, n_init_high=8, seed=0,
+            msp_starts=30, msp_polish=0, n_restarts=1, n_mc_samples=6,
+            gp_max_opt_iter=25,
+        ).run()
+        init_cost = 20 / 27 + 8
+        assert result.equivalent_cost >= init_cost
+        assert result.best_constraints.shape == (5,)
+
+    def test_de_baseline_full_loop(self):
+        result = DEOptimizer(
+            ChargePumpProblem(), budget=120, pop_size=12, seed=0
+        ).run()
+        assert result.history.n_evaluations(FIDELITY_HIGH) <= 120
+        assert np.isfinite(result.best_objective)
+
+
+@pytest.mark.slow
+class TestAllAlgorithmsOneProblem:
+    def test_four_way_comparison_runs(self):
+        from repro.problems import GardnerProblem
+
+        results = {}
+        results["ours"] = MFBOptimizer(
+            GardnerProblem(), budget=10.0, n_init_low=8, n_init_high=3,
+            seed=3, **FAST,
+        ).run()
+        results["weibo"] = WEIBO(
+            GardnerProblem(), budget=12, n_init=6, seed=3,
+            msp_starts=30, msp_polish=1, n_restarts=1,
+        ).run()
+        results["gaspad"] = GASPAD(
+            GardnerProblem(), budget=20, n_init=10, pop_size=6, seed=3,
+        ).run()
+        results["de"] = DEOptimizer(
+            GardnerProblem(), budget=30, pop_size=6, seed=3
+        ).run()
+        for name, result in results.items():
+            assert np.isfinite(result.best_objective), name
+        # at least the BO methods should end feasible on Gardner
+        assert results["ours"].feasible
+        assert results["weibo"].feasible

@@ -1,0 +1,104 @@
+"""Tests for repro.gp.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.linalg import (
+    CholeskyError,
+    cho_solve,
+    jitter_cholesky,
+    log_det_from_chol,
+    solve_lower,
+    solve_upper,
+    symmetrize,
+)
+
+
+def random_spd(n: int, rng: np.random.Generator) -> np.ndarray:
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestJitterCholesky:
+    def test_factors_spd_matrix_exactly(self):
+        rng = np.random.default_rng(0)
+        a = random_spd(6, rng)
+        lower, jitter = jitter_cholesky(a)
+        assert jitter == 0.0
+        np.testing.assert_allclose(lower @ lower.T, a, rtol=1e-10)
+
+    def test_lower_triangular(self):
+        rng = np.random.default_rng(1)
+        lower, _ = jitter_cholesky(random_spd(5, rng))
+        assert np.allclose(lower, np.tril(lower))
+
+    def test_near_singular_gets_jitter(self):
+        v = np.ones((4, 1))
+        a = v @ v.T  # rank-1, singular
+        lower, jitter = jitter_cholesky(a)
+        assert jitter > 0.0
+        assert np.all(np.isfinite(lower))
+
+    def test_identical_rows_kernel_matrix(self):
+        # duplicate inputs produce duplicated kernel rows — the BO loop
+        # relies on jitter handling this
+        x = np.array([[0.5], [0.5], [0.2]])
+        k = np.exp(-0.5 * (x - x.T) ** 2)
+        lower, jitter = jitter_cholesky(k)
+        assert np.all(np.isfinite(lower))
+
+    def test_hopeless_matrix_raises(self):
+        a = np.array([[1.0, 0.0], [0.0, -5.0]])
+        with pytest.raises(CholeskyError):
+            jitter_cholesky(a)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            jitter_cholesky(np.ones((2, 3)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**31 - 1))
+    def test_property_reconstruction(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = random_spd(n, rng)
+        lower, jitter = jitter_cholesky(a)
+        np.testing.assert_allclose(
+            lower @ lower.T, a + jitter * np.eye(n), rtol=1e-8, atol=1e-8
+        )
+
+
+class TestSolves:
+    def test_cho_solve_matches_direct(self):
+        rng = np.random.default_rng(2)
+        a = random_spd(7, rng)
+        b = rng.standard_normal(7)
+        lower, _ = jitter_cholesky(a)
+        np.testing.assert_allclose(
+            cho_solve(lower, b), np.linalg.solve(a, b), rtol=1e-9
+        )
+
+    def test_triangular_solves_roundtrip(self):
+        rng = np.random.default_rng(3)
+        a = random_spd(5, rng)
+        lower, _ = jitter_cholesky(a)
+        b = rng.standard_normal(5)
+        y = solve_lower(lower, b)
+        np.testing.assert_allclose(lower @ y, b, rtol=1e-10)
+        z = solve_upper(lower, b)
+        np.testing.assert_allclose(lower.T @ z, b, rtol=1e-10)
+
+    def test_log_det_matches_slogdet(self):
+        rng = np.random.default_rng(4)
+        a = random_spd(6, rng)
+        lower, _ = jitter_cholesky(a)
+        _, expected = np.linalg.slogdet(a)
+        assert log_det_from_chol(lower) == pytest.approx(expected, rel=1e-10)
+
+
+def test_symmetrize():
+    a = np.array([[1.0, 2.0], [0.0, 3.0]])
+    s = symmetrize(a)
+    np.testing.assert_allclose(s, s.T)
+    np.testing.assert_allclose(np.diag(s), np.diag(a))

@@ -1,0 +1,31 @@
+"""Tests for repro.gp.means."""
+
+import numpy as np
+import pytest
+
+from repro.gp import ConstantMean, MeanFunction, ZeroMean
+
+
+class TestZeroMean:
+    def test_returns_zeros(self):
+        mean = ZeroMean()
+        np.testing.assert_array_equal(mean(np.ones((5, 3))), np.zeros(5))
+
+    def test_single_point(self):
+        assert ZeroMean()(np.array([1.0, 2.0])).shape == (1,)
+
+
+class TestConstantMean:
+    def test_returns_constant(self):
+        mean = ConstantMean(2.5)
+        np.testing.assert_array_equal(mean(np.ones((4, 2))), np.full(4, 2.5))
+
+    def test_default_is_zero(self):
+        np.testing.assert_array_equal(
+            ConstantMean()(np.ones((3, 1))), np.zeros(3)
+        )
+
+
+def test_base_class_is_abstract():
+    with pytest.raises(NotImplementedError):
+        MeanFunction()(np.ones((2, 2)))

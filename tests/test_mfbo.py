@@ -1,0 +1,145 @@
+"""Tests for the main multi-fidelity BO loop (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MFBOptimizer
+from repro.problems import (
+    FIDELITY_HIGH,
+    FIDELITY_LOW,
+    ForresterProblem,
+    GardnerProblem,
+)
+
+FAST = dict(msp_starts=40, msp_polish=1, n_restarts=1, n_mc_samples=8,
+            gp_max_opt_iter=30)
+
+
+class TestUnconstrained:
+    def test_forrester_converges_to_global_minimum(self):
+        result = MFBOptimizer(
+            ForresterProblem(), budget=12.0, n_init_low=8, n_init_high=3,
+            seed=0, **FAST,
+        ).run()
+        assert result.best_objective == pytest.approx(-6.0207, abs=0.1)
+        assert result.feasible
+
+    def test_budget_respected(self):
+        result = MFBOptimizer(
+            ForresterProblem(), budget=8.0, n_init_low=6, n_init_high=2,
+            seed=1, **FAST,
+        ).run()
+        # one final evaluation may exceed the budget by at most one
+        # high-fidelity cost
+        assert result.equivalent_cost <= 8.0 + 1.0 + 1e-9
+
+    def test_both_fidelities_used(self):
+        result = MFBOptimizer(
+            ForresterProblem(), budget=10.0, n_init_low=8, n_init_high=3,
+            seed=2, **FAST,
+        ).run()
+        assert result.history.n_evaluations(FIDELITY_LOW) >= 8
+        assert result.history.n_evaluations(FIDELITY_HIGH) >= 3
+
+    def test_max_iterations_cap(self):
+        result = MFBOptimizer(
+            ForresterProblem(), budget=100.0, n_init_low=6, n_init_high=2,
+            max_iterations=3, seed=3, **FAST,
+        ).run()
+        iterations = max(r.iteration for r in result.history.records)
+        assert iterations <= 3
+
+    def test_reproducible_with_seed(self):
+        runs = [
+            MFBOptimizer(
+                ForresterProblem(), budget=8.0, n_init_low=6,
+                n_init_high=2, seed=42, **FAST,
+            ).run().best_objective
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestConstrained:
+    def test_gardner_finds_feasible_optimum(self):
+        result = MFBOptimizer(
+            GardnerProblem(), budget=14.0, n_init_low=10, n_init_high=4,
+            seed=0, **FAST,
+        ).run()
+        assert result.feasible
+        assert result.best_objective < -1.0
+
+    def test_constraints_recorded(self):
+        result = MFBOptimizer(
+            GardnerProblem(), budget=8.0, n_init_low=8, n_init_high=3,
+            seed=1, **FAST,
+        ).run()
+        assert result.best_constraints.shape == (1,)
+
+
+class TestConfiguration:
+    def test_ar1_fusion_mode(self):
+        result = MFBOptimizer(
+            ForresterProblem(), budget=8.0, n_init_low=6, n_init_high=2,
+            fusion="ar1", seed=0, **FAST,
+        ).run()
+        assert np.isfinite(result.best_objective)
+
+    def test_mean_path_prediction_mode(self):
+        result = MFBOptimizer(
+            ForresterProblem(), budget=8.0, n_init_low=6, n_init_high=2,
+            fused_prediction="mean_path", seed=0, **FAST,
+        ).run()
+        assert np.isfinite(result.best_objective)
+
+    def test_callback_invoked_each_iteration(self):
+        calls = []
+        MFBOptimizer(
+            ForresterProblem(), budget=7.0, n_init_low=6, n_init_high=2,
+            seed=0, callback=lambda i, h: calls.append(i), **FAST,
+        ).run()
+        assert calls == sorted(calls)
+        assert len(calls) >= 1
+
+    def test_gamma_controls_promotion_rate(self):
+        def run(gamma):
+            return MFBOptimizer(
+                ForresterProblem(), budget=8.0, n_init_low=8,
+                n_init_high=3, gamma=gamma, seed=5, **FAST,
+            ).run()
+        eager = run(100.0)   # everything promoted to high fidelity
+        lazy = run(1e-8)     # almost nothing promoted
+        eager_high = eager.history.n_evaluations(FIDELITY_HIGH)
+        lazy_high = lazy.history.n_evaluations(FIDELITY_HIGH)
+        eager_low = eager.history.n_evaluations(FIDELITY_LOW)
+        lazy_low = lazy.history.n_evaluations(FIDELITY_LOW)
+        assert eager_high > lazy_high or lazy_low > eager_low
+
+    def test_invalid_args_raise(self):
+        problem = ForresterProblem()
+        with pytest.raises(ValueError):
+            MFBOptimizer(problem, budget=0.0)
+        with pytest.raises(ValueError):
+            MFBOptimizer(problem, n_init_low=0)
+        with pytest.raises(ValueError):
+            MFBOptimizer(problem, fusion="nope")
+        with pytest.raises(ValueError):
+            MFBOptimizer(problem, fused_prediction="nope")
+
+    def test_single_fidelity_problem_rejected(self):
+        problem = ForresterProblem()
+        problem.fidelities = (FIDELITY_HIGH,)
+        with pytest.raises(ValueError):
+            MFBOptimizer(problem)
+
+    def test_dedup_nudges_duplicates(self):
+        optimizer = MFBOptimizer(
+            ForresterProblem(), budget=5.0, n_init_low=4, n_init_high=2,
+            seed=0, **FAST,
+        )
+        optimizer._initialize()
+        existing = optimizer.history.records[0].x_unit
+        nudged = optimizer._dedup(existing.copy())
+        assert not np.array_equal(nudged, existing)
+        fresh = np.array([0.123456789])
+        np.testing.assert_array_equal(optimizer._dedup(fresh), fresh)

@@ -1,0 +1,208 @@
+"""Tests for repro.optim (MSP, DE engine, random search)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim import (
+    DifferentialEvolution,
+    MSPOptimizer,
+    RandomSearch,
+    deb_fitness,
+)
+
+
+def bowl(center):
+    """Batch acquisition with a unique max at ``center``."""
+    center = np.asarray(center)
+    return lambda x: -np.sum((np.atleast_2d(x) - center) ** 2, axis=1)
+
+
+class TestMSPOptimizer:
+    def test_finds_global_max_of_smooth_bowl(self):
+        optimizer = MSPOptimizer(dim=2, n_starts=50, n_polish=3,
+                                 rng=np.random.default_rng(0))
+        result = optimizer.maximize(bowl([0.3, 0.7]))
+        np.testing.assert_allclose(result.x, [0.3, 0.7], atol=1e-3)
+        assert result.value == pytest.approx(0.0, abs=1e-5)
+
+    def test_respects_unit_cube(self):
+        optimizer = MSPOptimizer(dim=3, n_starts=30, n_polish=2,
+                                 rng=np.random.default_rng(1))
+        result = optimizer.maximize(bowl([2.0, 2.0, 2.0]))  # max outside
+        assert np.all(result.x >= 0.0) and np.all(result.x <= 1.0)
+        np.testing.assert_allclose(result.x, 1.0, atol=1e-3)
+
+    def test_extra_starts_can_win(self):
+        # a spike so narrow the scatter misses it; the extra start nails it
+        spike_center = np.array([0.123456, 0.654321])
+        def spike(x):
+            d = np.linalg.norm(np.atleast_2d(x) - spike_center, axis=1)
+            return np.where(d < 1e-4, 100.0, 0.0)
+        optimizer = MSPOptimizer(dim=2, n_starts=20, n_polish=0,
+                                 rng=np.random.default_rng(2))
+        result = optimizer.maximize(spike, extra_starts=spike_center)
+        assert result.value == pytest.approx(100.0)
+
+    def test_scatter_fraction_counts(self):
+        optimizer = MSPOptimizer(dim=2, n_starts=100, frac_around_low=0.1,
+                                 frac_around_high=0.4, ball_stddev=1e-4,
+                                 rng=np.random.default_rng(3))
+        low = np.array([0.2, 0.2])
+        high = np.array([0.8, 0.8])
+        points = optimizer.scatter(low, high)
+        assert points.shape == (100, 2)
+        near_low = np.sum(np.linalg.norm(points - low, axis=1) < 0.01)
+        near_high = np.sum(np.linalg.norm(points - high, axis=1) < 0.01)
+        assert near_low == 10
+        assert near_high == 40
+
+    def test_scatter_without_incumbents_is_uniform(self):
+        optimizer = MSPOptimizer(dim=2, n_starts=40,
+                                 rng=np.random.default_rng(4))
+        points = optimizer.scatter(None, None)
+        assert points.shape == (40, 2)
+
+    def test_nan_acquisition_values_survive(self):
+        def nan_spots(x):
+            x = np.atleast_2d(x)
+            values = -np.sum((x - 0.5) ** 2, axis=1)
+            values[x[:, 0] < 0.1] = np.nan
+            return values
+        optimizer = MSPOptimizer(dim=1, n_starts=30, n_polish=1,
+                                 rng=np.random.default_rng(5))
+        result = optimizer.maximize(nan_spots)
+        assert np.isfinite(result.value)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            MSPOptimizer(dim=0)
+        with pytest.raises(ValueError):
+            MSPOptimizer(dim=2, n_starts=0)
+        with pytest.raises(ValueError):
+            MSPOptimizer(dim=2, frac_around_low=0.8, frac_around_high=0.4)
+
+    def test_evaluation_count_reported(self):
+        optimizer = MSPOptimizer(dim=2, n_starts=25, n_polish=0,
+                                 rng=np.random.default_rng(6))
+        result = optimizer.maximize(bowl([0.5, 0.5]))
+        assert result.n_evaluations >= 25
+
+
+class TestRandomSearch:
+    def test_finds_approximate_max(self):
+        search = RandomSearch(dim=2, n_samples=2000,
+                              rng=np.random.default_rng(0))
+        result = search.maximize(bowl([0.4, 0.6]))
+        np.testing.assert_allclose(result.x, [0.4, 0.6], atol=0.1)
+
+    def test_extra_starts_included(self):
+        search = RandomSearch(dim=2, n_samples=10,
+                              rng=np.random.default_rng(1))
+        exact = np.array([0.25, 0.75])
+        result = search.maximize(bowl(exact), extra_starts=exact)
+        np.testing.assert_allclose(result.x, exact, atol=1e-12)
+
+
+class TestDebFitness:
+    def test_feasible_beats_infeasible(self):
+        fitness = deb_fitness(
+            np.array([100.0, 0.0]), np.array([0.0, 5.0])
+        )
+        assert fitness[0] < fitness[1]
+
+    def test_feasible_ranked_by_objective(self):
+        fitness = deb_fitness(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert fitness[0] < fitness[1]
+
+    def test_infeasible_ranked_by_violation(self):
+        fitness = deb_fitness(np.array([0.0, 100.0]), np.array([9.0, 1.0]))
+        assert fitness[1] < fitness[0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            deb_fitness(np.ones(3), np.ones(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_property_all_feasible_preserves_order(self, seed):
+        rng = np.random.default_rng(seed)
+        objective = rng.standard_normal(10)
+        fitness = deb_fitness(objective, np.zeros(10))
+        np.testing.assert_array_equal(
+            np.argsort(fitness), np.argsort(objective)
+        )
+
+
+class TestDifferentialEvolution:
+    def sphere(self, x):
+        return np.sum((x - 0.3) ** 2, axis=1)
+
+    def test_converges_on_sphere(self):
+        rng = np.random.default_rng(0)
+        engine = DifferentialEvolution(dim=3, pop_size=15, rng=rng)
+        pop = engine.initialize()
+        engine.tell(self.sphere(pop), initial=True)
+        for _ in range(60):
+            trials = engine.ask()
+            engine.tell(self.sphere(trials))
+        x_best, f_best = engine.best
+        assert f_best < 0.01
+        np.testing.assert_allclose(x_best, 0.3, atol=0.15)
+
+    def test_selection_is_elitist(self):
+        rng = np.random.default_rng(1)
+        engine = DifferentialEvolution(dim=2, pop_size=8, rng=rng)
+        pop = engine.initialize()
+        engine.tell(self.sphere(pop), initial=True)
+        best_before = engine.best[1]
+        for _ in range(5):
+            engine.tell(self.sphere(engine.ask()))
+            assert engine.best[1] <= best_before + 1e-15
+            best_before = engine.best[1]
+
+    def test_trials_stay_in_cube(self):
+        rng = np.random.default_rng(2)
+        engine = DifferentialEvolution(dim=4, pop_size=10, rng=rng)
+        pop = engine.initialize()
+        engine.tell(np.zeros(10), initial=True)
+        for _ in range(10):
+            trials = engine.ask()
+            assert trials.min() >= 0.0 and trials.max() <= 1.0
+            engine.tell(rng.random(10))
+
+    def test_ask_before_init_raises(self):
+        engine = DifferentialEvolution(dim=2, pop_size=5)
+        with pytest.raises(RuntimeError):
+            engine.ask()
+
+    def test_ask_before_initial_fitness_raises(self):
+        engine = DifferentialEvolution(dim=2, pop_size=5)
+        engine.initialize()
+        with pytest.raises(RuntimeError):
+            engine.ask()
+
+    def test_tell_without_ask_raises(self):
+        engine = DifferentialEvolution(dim=2, pop_size=5)
+        engine.initialize()
+        engine.tell(np.zeros(5), initial=True)
+        with pytest.raises(RuntimeError):
+            engine.tell(np.zeros(5))
+
+    def test_explicit_population(self):
+        engine = DifferentialEvolution(dim=2, pop_size=4,
+                                       rng=np.random.default_rng(3))
+        pop = np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3], [0.4, 0.4]])
+        returned = engine.initialize(pop)
+        np.testing.assert_array_equal(returned, pop)
+        with pytest.raises(ValueError):
+            engine.initialize(np.ones((3, 2)))
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            DifferentialEvolution(dim=2, pop_size=3)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(dim=2, pop_size=5, differential_weight=0.0)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(dim=2, pop_size=5, crossover_rate=1.5)

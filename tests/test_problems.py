@@ -1,0 +1,172 @@
+"""Tests for repro.problems (base + synthetic suites)."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    FIDELITY_HIGH,
+    FIDELITY_LOW,
+    BraninProblem,
+    ConstrainedBraninProblem,
+    CurrinProblem,
+    ForresterProblem,
+    GardnerProblem,
+    Hartmann3Problem,
+    ParkProblem,
+    PedagogicalProblem,
+    branin_high,
+    forrester_high,
+    forrester_low,
+    hartmann3_high,
+    pedagogical_high,
+    pedagogical_low,
+)
+
+ALL_PROBLEMS = [
+    PedagogicalProblem,
+    ForresterProblem,
+    CurrinProblem,
+    ParkProblem,
+    BraninProblem,
+    Hartmann3Problem,
+    GardnerProblem,
+    ConstrainedBraninProblem,
+]
+
+
+class TestProblemInterface:
+    @pytest.mark.parametrize("cls", ALL_PROBLEMS)
+    def test_evaluate_both_fidelities(self, cls):
+        problem = cls()
+        rng = np.random.default_rng(0)
+        u = rng.random(problem.dim)
+        for fidelity in problem.fidelities:
+            evaluation = problem.evaluate_unit(u, fidelity)
+            assert np.isfinite(evaluation.objective)
+            assert evaluation.constraints.shape == (problem.n_constraints,)
+            assert evaluation.fidelity == fidelity
+
+    @pytest.mark.parametrize("cls", ALL_PROBLEMS)
+    def test_cost_structure(self, cls):
+        problem = cls()
+        assert problem.cost(FIDELITY_HIGH) == 1.0
+        assert problem.cost(FIDELITY_LOW) < 1.0
+
+    @pytest.mark.parametrize("cls", ALL_PROBLEMS)
+    def test_fidelities_differ(self, cls):
+        """Low and high fidelity must disagree somewhere, else the
+        multi-fidelity machinery is pointless."""
+        problem = cls()
+        rng = np.random.default_rng(1)
+        us = rng.random((10, problem.dim))
+        low = [problem.evaluate_unit(u, FIDELITY_LOW).objective for u in us]
+        high = [problem.evaluate_unit(u, FIDELITY_HIGH).objective for u in us]
+        assert not np.allclose(low, high)
+
+    @pytest.mark.parametrize(
+        "cls", [c for c in ALL_PROBLEMS if c is not PedagogicalProblem]
+    )
+    def test_fidelities_correlate(self, cls):
+        """...but they must also correlate, else fusion cannot help.
+
+        The pedagogical pair is deliberately excluded: its fidelities are
+        *nonlinearly* related (sin vs sin^2) with near-zero linear
+        correlation — that is exactly why the paper needs NARGP.
+        """
+        problem = cls()
+        rng = np.random.default_rng(2)
+        us = rng.random((30, problem.dim))
+        low = [problem.evaluate_unit(u, FIDELITY_LOW).objective for u in us]
+        high = [problem.evaluate_unit(u, FIDELITY_HIGH).objective for u in us]
+        assert abs(np.corrcoef(low, high)[0, 1]) > 0.3
+
+    def test_default_fidelity_is_highest(self):
+        problem = ForresterProblem()
+        evaluation = problem.evaluate(np.array([0.5]))
+        assert evaluation.fidelity == FIDELITY_HIGH
+
+    def test_unknown_fidelity_raises(self):
+        with pytest.raises(ValueError):
+            ForresterProblem().evaluate(np.array([0.5]), "medium")
+
+    def test_wrong_dim_raises(self):
+        with pytest.raises(ValueError):
+            BraninProblem().evaluate(np.array([0.5]))
+
+    def test_nonfinite_input_raises(self):
+        with pytest.raises(ValueError):
+            ForresterProblem().evaluate(np.array([np.nan]))
+
+    def test_evaluate_unit_clips(self):
+        problem = ForresterProblem()
+        evaluation = problem.evaluate_unit(np.array([1.5]))
+        assert np.isfinite(evaluation.objective)
+
+
+class TestKnownValues:
+    def test_forrester_minimum(self):
+        assert forrester_high(np.array([[0.757249]]))[0] == pytest.approx(
+            -6.0207, abs=1e-3
+        )
+
+    def test_forrester_low_is_affine_transform(self):
+        x = np.linspace(0, 1, 11)[:, None]
+        expected = 0.5 * forrester_high(x) + 10 * (x[:, 0] - 0.5) - 5
+        np.testing.assert_allclose(forrester_low(x), expected)
+
+    def test_branin_known_minima(self):
+        minima = np.array(
+            [[-np.pi, 12.275], [np.pi, 2.275], [9.42478, 2.475]]
+        )
+        np.testing.assert_allclose(
+            branin_high(minima), 0.397887, atol=1e-4
+        )
+
+    def test_hartmann3_minimum(self):
+        x_star = np.array([[0.114614, 0.555649, 0.852547]])
+        assert hartmann3_high(x_star)[0] == pytest.approx(-3.86278, abs=1e-3)
+
+    def test_pedagogical_relation(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        low = pedagogical_low(x)
+        expected = (x[:, 0] - np.sqrt(2.0)) * low**2
+        np.testing.assert_allclose(pedagogical_high(x), expected)
+
+    def test_pedagogical_high_nonpositive(self):
+        # (x - sqrt(2)) < 0 on [0, 1] and f_l^2 >= 0
+        x = np.linspace(0, 1, 100)[:, None]
+        assert np.all(pedagogical_high(x) <= 1e-12)
+
+
+class TestConstrainedProblems:
+    def test_gardner_constraint_sign(self):
+        problem = GardnerProblem()
+        # (pi, pi): cos(pi)cos(pi) - sin(pi)sin(pi) + 0.5 = 1.5 > 0: violated
+        violated = problem.evaluate(np.array([np.pi, np.pi]))
+        assert violated.constraints[0] > 0
+        # (pi/2, pi): 0 - 0 + 0.5 = 0.5 > 0 still violated; try (pi/2, pi/2):
+        # cos*cos - sin*sin + 0.5 = 0 - 1 + 0.5 = -0.5 < 0: satisfied
+        satisfied = problem.evaluate(np.array([np.pi / 2, np.pi / 2]))
+        assert satisfied.constraints[0] < 0
+
+    def test_gardner_has_feasible_and_infeasible_points(self):
+        problem = GardnerProblem()
+        rng = np.random.default_rng(3)
+        flags = [
+            problem.evaluate_unit(rng.random(2)).feasible
+            for _ in range(40)
+        ]
+        assert any(flags) and not all(flags)
+
+    def test_constrained_branin_disk(self):
+        problem = ConstrainedBraninProblem()
+        inside = problem.evaluate(np.array([2.5, 7.5]))
+        assert inside.feasible
+        outside = problem.evaluate(np.array([-5.0, 0.0]))
+        assert not outside.feasible
+
+    def test_cost_ratio_parameter(self):
+        problem = GardnerProblem(cost_ratio=25.0)
+        assert problem.cost(FIDELITY_LOW) == pytest.approx(1 / 25.0)
+        with pytest.raises(ValueError):
+            GardnerProblem(cost_ratio=0.5)

@@ -1,0 +1,59 @@
+"""The public API surface: everything README advertises must import."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_key_classes_present(self):
+        for name in ("MFBOptimizer", "WEIBO", "GASPAD", "DEOptimizer",
+                     "NARGP", "AR1", "GPR", "DesignSpace", "Problem"):
+            assert name in repro.__all__
+
+
+class TestSubpackageImports:
+    def test_spice_package(self):
+        from repro.spice import Circuit, simulate_transient, solve_dc
+
+        assert Circuit is not None
+
+    def test_circuits_package(self):
+        from repro.circuits import ChargePumpProblem, PowerAmplifierProblem
+
+        assert ChargePumpProblem().dim == 36
+        assert PowerAmplifierProblem().dim == 5
+
+    def test_experiments_package(self):
+        from repro.experiments import current_scale
+
+        assert current_scale().name in ("smoke", "full")
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The exact code from README.md's quickstart (tiny budget)."""
+        from repro import MFBOptimizer
+        from repro.problems import ForresterProblem
+
+        result = MFBOptimizer(
+            ForresterProblem(),
+            budget=6.0,
+            n_init_low=6,
+            n_init_high=2,
+            seed=0,
+            msp_starts=20,
+            msp_polish=0,
+            n_restarts=1,
+        ).run()
+        assert np.isfinite(result.best_objective)
+        assert result.equivalent_cost <= 7.0 + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for repro.spice.waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Waveform, fourier_coefficients, thd, thd_db, to_dbm
+
+
+def sine_wave(freq=1.0, amplitude=1.0, offset=0.0, periods=4,
+              samples_per_period=200):
+    t = np.linspace(0, periods / freq, periods * samples_per_period + 1)
+    return Waveform(t, offset + amplitude * np.sin(2 * np.pi * freq * t))
+
+
+class TestWaveformBasics:
+    def test_average_of_sine_is_offset(self):
+        wave = sine_wave(offset=1.5)
+        assert wave.average() == pytest.approx(1.5, abs=1e-6)
+
+    def test_rms_of_sine(self):
+        wave = sine_wave(amplitude=2.0)
+        assert wave.rms() == pytest.approx(2.0 / np.sqrt(2), rel=1e-4)
+
+    def test_rms_with_offset(self):
+        wave = sine_wave(amplitude=1.0, offset=1.0)
+        expected = np.sqrt(1.0 + 0.5)
+        assert wave.rms() == pytest.approx(expected, rel=1e-4)
+
+    def test_peak_to_peak(self):
+        wave = sine_wave(amplitude=3.0)
+        assert wave.peak_to_peak() == pytest.approx(6.0, rel=1e-3)
+
+    def test_clip_window(self):
+        wave = sine_wave(periods=4)
+        clipped = wave.clip(1.0, 3.0)
+        assert clipped.times[0] >= 1.0
+        assert clipped.times[-1] <= 3.0
+
+    def test_last_periods(self):
+        wave = sine_wave(freq=2.0, periods=8)
+        tail = wave.last_periods(2.0, 2)
+        assert tail.times[-1] - tail.times[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_last_periods_too_long_raises(self):
+        wave = sine_wave(periods=2)
+        with pytest.raises(ValueError):
+            wave.last_periods(1.0, 10)
+
+    def test_multiply_power(self):
+        v = sine_wave(amplitude=2.0)
+        power = v.multiply(v)
+        assert power.average() == pytest.approx(2.0, rel=1e-4)
+
+    def test_multiply_needs_same_time_base(self):
+        a = sine_wave()
+        b = Waveform(a.times + 1.0, a.values)
+        with pytest.raises(ValueError):
+            a.multiply(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Waveform([0.0], [1.0])
+        with pytest.raises(ValueError):
+            Waveform([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            Waveform([0.0, 1.0], [1.0])
+
+
+class TestFourier:
+    def test_pure_sine_fundamental(self):
+        wave = sine_wave(freq=5.0, amplitude=2.0)
+        coefficients = fourier_coefficients(wave, 5.0, n_harmonics=3)
+        assert abs(coefficients[0]) == pytest.approx(2.0, rel=1e-3)
+        assert abs(coefficients[1]) < 1e-3
+        assert abs(coefficients[2]) < 1e-3
+
+    def test_harmonic_mixture_recovered(self):
+        freq = 3.0
+        t = np.linspace(0, 2 / freq, 2001)
+        values = (1.0 * np.sin(2 * np.pi * freq * t)
+                  + 0.25 * np.sin(2 * np.pi * 2 * freq * t)
+                  + 0.1 * np.sin(2 * np.pi * 3 * freq * t))
+        wave = Waveform(t, values)
+        coefficients = fourier_coefficients(wave, freq, n_harmonics=3)
+        np.testing.assert_allclose(
+            np.abs(coefficients), [1.0, 0.25, 0.1], rtol=5e-3
+        )
+
+    def test_invalid_args(self):
+        wave = sine_wave()
+        with pytest.raises(ValueError):
+            fourier_coefficients(wave, -1.0)
+        with pytest.raises(ValueError):
+            fourier_coefficients(wave, 1.0, n_harmonics=0)
+
+
+class TestTHD:
+    def test_clean_sine_near_zero(self):
+        wave = sine_wave(freq=2.0)
+        assert thd(wave, 2.0) < 1e-3
+
+    def test_known_distortion_ratio(self):
+        freq = 2.0
+        t = np.linspace(0, 3 / freq, 3001)
+        values = (np.sin(2 * np.pi * freq * t)
+                  + 0.1 * np.sin(2 * np.pi * 2 * freq * t))
+        wave = Waveform(t, values)
+        assert thd(wave, freq) == pytest.approx(0.1, rel=1e-2)
+
+    def test_thd_db_of_10pct(self):
+        freq = 2.0
+        t = np.linspace(0, 3 / freq, 3001)
+        values = (np.sin(2 * np.pi * freq * t)
+                  + 0.1 * np.sin(2 * np.pi * 2 * freq * t))
+        wave = Waveform(t, values)
+        assert thd_db(wave, freq) == pytest.approx(-20.0, abs=0.2)
+
+    def test_zero_fundamental_gives_inf(self):
+        t = np.linspace(0, 1, 101)
+        wave = Waveform(t, np.zeros_like(t))
+        assert thd(wave, 1.0) == np.inf
+
+
+class TestToDbm:
+    def test_one_milliwatt_is_zero(self):
+        assert to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_one_watt(self):
+        assert to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_nonpositive_is_neg_inf(self):
+        assert to_dbm(0.0) == -np.inf
+        assert to_dbm(-1.0) == -np.inf
