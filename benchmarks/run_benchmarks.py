@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Run the performance benchmark suite and emit a dated ``BENCH_*.json``.
+
+The substrate micro-benchmarks (``test_substrate_perf.py``) time the hot
+paths every experiment depends on: GP hyperparameter training, batched
+posterior prediction, NARGP Monte-Carlo fused prediction and the MNA
+transient solver. This driver wraps ``pytest-benchmark`` so each PR can
+record its perf trajectory next to the previous ones::
+
+    python benchmarks/run_benchmarks.py                 # substrate suite
+    python benchmarks/run_benchmarks.py --all           # every benchmark
+    python benchmarks/run_benchmarks.py --out custom.json
+    python benchmarks/run_benchmarks.py --compare BENCH_a.json BENCH_b.json
+
+``--compare`` prints per-test speedup ratios between two emitted files
+and exits without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUBSTRATE_SUITE = "benchmarks/test_substrate_perf.py"
+
+
+def default_output_name() -> str:
+    return f"BENCH_{datetime.date.today().isoformat()}.json"
+
+
+def run_suite(target: str, out_path: Path) -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        target,
+        "-q",
+        f"--benchmark-json={out_path}",
+    ]
+    env = _build_env(str(REPO_ROOT / "src"))
+    print(f"$ {' '.join(command)}")
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def _build_env(env_path: str) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        env_path + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else env_path
+    )
+    return env
+
+
+def load_means(path: Path) -> dict[str, float]:
+    payload = json.loads(path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(before_path: Path, after_path: Path) -> None:
+    before = load_means(before_path)
+    after = load_means(after_path)
+    shared = sorted(set(before) & set(after))
+    if not shared:
+        print("no common benchmarks between the two files")
+        return
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark'.ljust(width)}  before(ms)  after(ms)  speedup")
+    for name in shared:
+        ratio = before[name] / after[name] if after[name] > 0 else float("inf")
+        print(
+            f"{name.ljust(width)}  "
+            f"{before[name] * 1e3:9.3f}  {after[name] * 1e3:8.3f}  "
+            f"{ratio:6.2f}x"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run the full benchmarks/ directory instead of the substrate "
+        "perf suite",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BEFORE", "AFTER"),
+        help="compare two previously emitted BENCH_*.json files and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        compare(Path(args.compare[0]), Path(args.compare[1]))
+        return 0
+
+    # Resolve against the caller's cwd: pytest below runs with
+    # cwd=REPO_ROOT, which would silently relocate a relative --out.
+    out_path = (
+        Path(args.out).resolve()
+        if args.out
+        else REPO_ROOT / default_output_name()
+    )
+    target = "benchmarks" if args.all else SUBSTRATE_SUITE
+    status = run_suite(target, out_path)
+    if status == 0:
+        print(f"wrote {out_path}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

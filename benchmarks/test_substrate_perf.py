@@ -68,6 +68,27 @@ def test_nargp_fit_pedagogical(benchmark):
     assert model.high_model is not None
 
 
+@pytest.fixture(scope="module")
+def nargp_model():
+    rng = np.random.default_rng(4)
+    x_low = np.sort(rng.random(40))[:, None]
+    x_high = np.sort(rng.random(10))[:, None]
+    return NARGP(n_restarts=1, max_opt_iter=40).fit(
+        x_low, pedagogical_low(x_low),
+        x_high, pedagogical_high(x_high),
+        rng=np.random.default_rng(5),
+    )
+
+
+def test_nargp_predict_mc_fused(benchmark, nargp_model):
+    """Monte-Carlo fused prediction (paper eq. 10) — the BO-loop hot path."""
+    grid = np.linspace(0.0, 1.0, 200)[:, None]
+    z = np.random.default_rng(6).standard_normal(64)
+    mu, var = benchmark(nargp_model.predict, grid, z=z)
+    assert mu.shape == (200,)
+    assert np.all(var > 0)
+
+
 def test_transient_rc_1000_steps(benchmark):
     circuit = Circuit("rc")
     circuit.add(VoltageSource("V1", "in", "0",

@@ -43,6 +43,7 @@ class History:
 
     def __init__(self):
         self.records: list[Record] = []
+        self._x_stack: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -56,8 +57,44 @@ class History:
             evaluation=evaluation,
             iteration=int(iteration),
         )
+        self._append_to_stack(record.x_unit)
         self.records.append(record)
         return record
+
+    def _append_to_stack(self, x_unit: np.ndarray) -> None:
+        """Grow the cached ``(n, d)`` design matrix by one row, doubling
+        capacity amortized-O(1) instead of re-stacking every record.
+
+        Called *before* the record joins ``self.records`` so a
+        dimensionality error leaves the history unchanged.
+        """
+        n = len(self.records) + 1
+        if self._x_stack is None:
+            self._x_stack = np.empty((16, x_unit.size))
+        elif x_unit.size != self._x_stack.shape[1]:
+            raise ValueError(
+                f"design dimensionality changed from {self._x_stack.shape[1]} "
+                f"to {x_unit.size}"
+            )
+        elif n > self._x_stack.shape[0]:
+            grown = np.empty((2 * self._x_stack.shape[0], x_unit.size))
+            grown[: n - 1] = self._x_stack[: n - 1]
+            self._x_stack = grown
+        self._x_stack[n - 1] = x_unit
+
+    @property
+    def x_unit_matrix(self) -> np.ndarray:
+        """All evaluated designs as one ``(n, d)`` read-only view.
+
+        Maintained incrementally on :meth:`add`, so per-iteration
+        consumers (e.g. duplicate detection in the BO loop) avoid an
+        O(n) re-stack of the whole history.
+        """
+        if not self.records:
+            raise ValueError("history is empty")
+        view = self._x_stack[: len(self.records)]
+        view.flags.writeable = False
+        return view
 
     # ------------------------------------------------------------------
     # views

@@ -71,6 +71,15 @@ class MFBOptimizer:
         ``"mc"`` uses the Monte-Carlo fused posterior inside the
         acquisition (the paper's method); ``"mean_path"`` pushes only the
         low-fidelity mean through (cheaper, for ablations).
+    refit_every:
+        Full hyperparameter re-optimization cadence. ``1`` (default)
+        re-optimizes every iteration, the paper's protocol.
+        With ``k > 1``, iterations between full refits keep the current
+        hyperparameters and only update the posterior caches: the GP of
+        the fidelity that received the new point is extended with an
+        incremental O(n^2) Cholesky append
+        (:meth:`repro.gp.GPR.add_points`), and dependent fused models are
+        re-cached without any L-BFGS-B work.
     max_iterations:
         Hard iteration cap, a safety net on top of the cost budget.
     callback:
@@ -105,6 +114,7 @@ class MFBOptimizer:
         ball_stddev: float = 0.03,
         fusion: str = "nargp",
         fused_prediction: str = "mc",
+        refit_every: int = 1,
         gp_max_opt_iter: int = 100,
         max_iterations: int = 10_000,
         seed: int | None = None,
@@ -124,6 +134,8 @@ class MFBOptimizer:
             raise ValueError("fusion must be 'nargp' or 'ar1'")
         if fused_prediction not in ("mc", "mean_path"):
             raise ValueError("fused_prediction must be 'mc' or 'mean_path'")
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
         self.problem = problem
         self.budget = float(budget)
         self.n_init_low = int(n_init_low)
@@ -132,6 +144,7 @@ class MFBOptimizer:
         self.n_restarts = int(n_restarts)
         self.fusion = fusion
         self.fused_prediction = fused_prediction
+        self.refit_every = int(refit_every)
         self.gp_max_opt_iter = int(gp_max_opt_iter)
         self.max_iterations = int(max_iterations)
         self.callback = callback
@@ -149,6 +162,8 @@ class MFBOptimizer:
             rng=self.rng,
         )
         self.history = History()
+        self._low_models: list[GPR] | None = None
+        self._fused_models: list | None = None
 
     # ------------------------------------------------------------------
     # initialization
@@ -172,15 +187,26 @@ class MFBOptimizer:
     # ------------------------------------------------------------------
     # model fitting
     # ------------------------------------------------------------------
-    def _fit_models(self) -> tuple[list[GPR], list]:
+    def _fit_models(self, iteration: int = 1) -> tuple[list[GPR], list]:
         """Fit per-output low GPs and fused high models.
 
         Output order: objective first, then one model per constraint.
+        Every ``refit_every``-th iteration performs the full
+        hyperparameter optimization; in between, cached models are
+        extended with the cheap incremental path.
         """
         x_low, y_low, c_low = self.history.data(FIDELITY_LOW)
         x_high, y_high, c_high = self.history.data(FIDELITY_HIGH)
         targets_low = [y_low] + [c_low[:, i] for i in range(c_low.shape[1])]
         targets_high = [y_high] + [c_high[:, i] for i in range(c_high.shape[1])]
+
+        full_refit = (
+            self._low_models is None
+            or (iteration - 1) % self.refit_every == 0
+        )
+        if not full_refit:
+            self._update_models(x_low, targets_low, x_high, targets_high)
+            return self._low_models, self._fused_models
 
         low_models: list[GPR] = []
         fused_models: list = []
@@ -201,10 +227,56 @@ class MFBOptimizer:
                 )
             else:
                 fused = AR1(n_restarts=self.n_restarts)
-                fused.fit(x_low, t_low, x_high, t_high, rng=self.rng)
-                fused.low_model = low_gp
+                fused.fit(
+                    x_low, t_low, x_high, t_high,
+                    rng=self.rng, low_model=low_gp,
+                )
             fused_models.append(fused)
+        self._low_models, self._fused_models = low_models, fused_models
         return low_models, fused_models
+
+    def _update_models(
+        self,
+        x_low: np.ndarray,
+        targets_low: list[np.ndarray],
+        x_high: np.ndarray,
+        targets_high: list[np.ndarray],
+    ) -> None:
+        """Cheap posterior-cache update between full refits.
+
+        The GP at the fidelity that received new data is extended with an
+        incremental Cholesky append; when the low-fidelity posterior
+        moved, the fused model's augmented training inputs are re-cached
+        (one factorization, no hyperparameter search).
+        """
+        for low_gp, fused, t_low, t_high in zip(
+            self._low_models, self._fused_models, targets_low, targets_high
+        ):
+            n_low_old = low_gp.n_train
+            low_grew = x_low.shape[0] > n_low_old
+            if low_grew:
+                low_gp.add_points(x_low[n_low_old:], t_low[n_low_old:])
+            if self.fusion == "nargp":
+                high_gp = fused.high_model
+                n_high_old = high_gp.n_train
+                if low_grew:
+                    # The low posterior shifted, so every augmented input
+                    # [x, f_l(x)] is stale: rebuild the posterior cache at
+                    # fixed hyperparameters.
+                    augmented = np.column_stack(
+                        [x_high, low_gp.predict_mean(x_high)]
+                    )
+                    high_gp.fit(augmented, t_high, optimize=False)
+                elif x_high.shape[0] > n_high_old:
+                    x_new = x_high[n_high_old:]
+                    augmented_new = np.column_stack(
+                        [x_new, low_gp.predict_mean(x_new)]
+                    )
+                    high_gp.add_points(augmented_new, t_high[n_high_old:])
+            else:
+                mu_low = low_gp.predict_mean(x_high)
+                residual = t_high - fused.rho * mu_low
+                fused.delta_model.fit(x_high, residual, optimize=False)
 
     # ------------------------------------------------------------------
     # acquisition assembly
@@ -243,7 +315,7 @@ class MFBOptimizer:
             and iteration < self.max_iterations
         ):
             iteration += 1
-            low_models, fused_models = self._fit_models()
+            low_models, fused_models = self._fit_models(iteration)
             z = self.rng.standard_normal(self.n_mc_samples)
 
             best_low = self.history.incumbent(FIDELITY_LOW)
@@ -312,7 +384,7 @@ class MFBOptimizer:
         """
         if not self.history.records:
             return x
-        existing = np.vstack([r.x_unit for r in self.history.records])
+        existing = self.history.x_unit_matrix
         distances = np.linalg.norm(existing - x[None, :], axis=1)
         if float(np.min(distances)) > tolerance:
             return x

@@ -12,7 +12,7 @@ from .kernels import (
     WhiteKernel,
     nargp_kernel,
 )
-from .linalg import jitter_cholesky
+from .linalg import chol_append, chol_rank1_update, jitter_cholesky
 from .means import ConstantMean, MeanFunction, ZeroMean
 
 __all__ = [
@@ -31,4 +31,6 @@ __all__ = [
     "ZeroMean",
     "ConstantMean",
     "jitter_cholesky",
+    "chol_append",
+    "chol_rank1_update",
 ]

@@ -20,6 +20,7 @@ from scipy.optimize import minimize
 from .kernels import Kernel, RBF
 from .linalg import (
     CholeskyError,
+    chol_append,
     cho_solve,
     jitter_cholesky,
     log_det_from_chol,
@@ -103,6 +104,9 @@ class GPR:
         self._y_scale = 1.0
         self._chol: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        self._lower_inv: np.ndarray | None = None
+        self._jitter = 0.0
+        self._workspace: dict | None = None
         self.train_result: TrainResult | None = None
 
     # ------------------------------------------------------------------
@@ -146,6 +150,7 @@ class GPR:
             raise ValueError("training data must be finite")
         self._x_train = x
         self._y_raw = y.copy()
+        self._eye = np.eye(x.shape[0])
         if self.normalize_y:
             self._y_shift = float(np.mean(y))
             scale = float(np.std(y))
@@ -156,6 +161,15 @@ class GPR:
         self._y_train = residual / self._y_scale
         if self.kernel is None:
             self.kernel = RBF(x.shape[1], lengthscales=0.5)
+        self._workspace = None
+
+    def _get_workspace(self) -> dict:
+        """Theta-independent kernel workspace for the current training set,
+        built lazily and reused across every objective/gradient call of
+        one hyperparameter search."""
+        if self._workspace is None:
+            self._workspace = self.kernel.make_workspace(self._x_train)
+        return self._workspace
 
     # ------------------------------------------------------------------
     # marginal likelihood
@@ -172,11 +186,18 @@ class GPR:
         return self.kernel.bounds + [self._noise_bounds]
 
     def _nlml_and_grad(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
-        """Negative log marginal likelihood (eq. 3) and its gradient."""
+        """Negative log marginal likelihood (eq. 3) and its gradient.
+
+        One Cholesky factorization serves the likelihood value and every
+        gradient term; the theta-independent kernel workspace is shared
+        across all calls of one L-BFGS-B run.
+        """
         self._set_full_theta(theta)
         x, y = self._x_train, self._y_train
         n = x.shape[0]
-        k = self.kernel(x) + self.noise_variance * np.eye(n)
+        workspace = self._get_workspace()
+        k_noise_free = self.kernel(x, workspace=workspace)
+        k = k_noise_free + self.noise_variance * self._eye
         try:
             lower, _ = jitter_cholesky(k)
         except CholeskyError:
@@ -185,17 +206,19 @@ class GPR:
         nlml = 0.5 * (
             float(y @ alpha) + log_det_from_chol(lower) + n * np.log(2.0 * np.pi)
         )
-        # dNLML/dtheta_j = 0.5 tr((K^-1 - alpha alpha^T) dK/dtheta_j)
-        k_inv = cho_solve(lower, np.eye(n))
-        inner = k_inv - np.outer(alpha, alpha)
-        grads = self.kernel.gradients(x)
-        grad = np.empty(theta.size)
-        for j in range(grads.shape[0]):
-            grad[j] = 0.5 * float(np.sum(inner * grads[j]))
-        # noise term: dK/d log(sigma_n^2) = sigma_n^2 * I
-        grad[-1] = 0.5 * self.noise_variance * float(np.trace(inner))
         if not np.isfinite(nlml):
             return 1e25, np.zeros_like(theta)
+        # dNLML/dtheta_j = 0.5 tr((K^-1 - alpha alpha^T) dK/dtheta_j),
+        # with K^-1 = L^-T L^-1 assembled from one triangular solve and the
+        # trace contracted kernel-side without materializing dK stacks.
+        lower_inv = solve_lower(lower, self._eye)
+        inner = lower_inv.T @ lower_inv - np.outer(alpha, alpha)
+        grad = np.empty(theta.size)
+        grad[:-1] = 0.5 * self.kernel.gradient_traces(
+            x, inner, workspace=workspace, k=k_noise_free
+        )
+        # noise term: dK/d log(sigma_n^2) = sigma_n^2 * I
+        grad[-1] = 0.5 * self.noise_variance * float(np.trace(inner))
         return nlml, grad
 
     def nlml(self) -> float:
@@ -259,6 +282,9 @@ class GPR:
                 best_theta = result.x.copy()
                 any_success = any_success or bool(result.success)
         self._set_full_theta(best_theta)
+        # The workspace is only needed while L-BFGS-B hammers the
+        # objective; drop the O(n^2 d) tensors now (rebuilt lazily).
+        self._workspace = None
         self.train_result = TrainResult(
             nlml=best_value,
             theta=best_theta,
@@ -268,9 +294,66 @@ class GPR:
 
     def _update_posterior_cache(self) -> None:
         x, y = self._x_train, self._y_train
-        k = self.kernel(x) + self.noise_variance * np.eye(x.shape[0])
-        self._chol, _ = jitter_cholesky(k)
+        k = self.kernel(x) + self.noise_variance * self._eye
+        self._chol, self._jitter = jitter_cholesky(k)
         self._alpha = cho_solve(self._chol, y)
+        # Cached triangular L^-1 turns every predictive-variance query
+        # into one GEMM instead of a per-call triangular solve, while
+        # keeping the numerically stable ||L^-1 k*||^2 quad form (an
+        # explicit K^-1 loses accuracy exactly where the GP is confident).
+        self._lower_inv = solve_lower(self._chol, np.eye(self._chol.shape[0]))
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def add_points(self, x_new: np.ndarray, y_new: np.ndarray) -> "GPR":
+        """Append training points **without** re-optimizing hyperparameters.
+
+        The posterior Cholesky factor is extended with an incremental
+        block update (:func:`repro.gp.linalg.chol_append`, ``O(n^2)`` per
+        point) instead of the ``O(n^3)`` full refactorization — the cheap
+        path a Bayesian-optimization loop takes on iterations where it
+        skips hyperparameter refitting. Falls back to a full
+        refactorization if the appended block is numerically indefinite.
+        """
+        if self._chol is None:
+            raise RuntimeError("model has not been fit")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if x_new.shape[1] != self._x_train.shape[1]:
+            raise ValueError(
+                f"expected {self._x_train.shape[1]} input dims, got "
+                f"{x_new.shape[1]}"
+            )
+        old_chol, old_x = self._chol, self._x_train
+        x_all = np.vstack([old_x, x_new])
+        y_all = np.concatenate([self._y_raw, y_new])
+        # Kernel hyperparameters are untouched, so the existing factor of
+        # K(old, old) stays valid; only the new rows must be factored.
+        cross = self.kernel(x_new, old_x)
+        block = self.kernel(x_new) + (self.noise_variance + self._jitter) * np.eye(
+            x_new.shape[0]
+        )
+        self._set_data(x_all, y_all)
+        try:
+            old_lower_inv = self._lower_inv
+            n_old, m = old_x.shape[0], x_new.shape[0]
+            self._chol = chol_append(old_chol, cross, block)
+            self._alpha = cho_solve(self._chol, self._y_train)
+            # Extend L^-1 with the block-inverse identity in O(n^2 m):
+            # [[L, 0], [L21, L22]]^-1 =
+            # [[L^-1, 0], [-L22^-1 L21 L^-1, L22^-1]].
+            l21 = self._chol[n_old:, :n_old]
+            l22 = self._chol[n_old:, n_old:]
+            l22_inv = solve_lower(l22, np.eye(m))
+            lower_inv = np.zeros_like(self._chol)
+            lower_inv[:n_old, :n_old] = old_lower_inv
+            lower_inv[n_old:, n_old:] = l22_inv
+            lower_inv[n_old:, :n_old] = -l22_inv @ (l21 @ old_lower_inv)
+            self._lower_inv = lower_inv
+        except CholeskyError:
+            self._update_posterior_cache()
+        return self
 
     # ------------------------------------------------------------------
     # prediction
@@ -297,15 +380,87 @@ class GPR:
             raise RuntimeError("model has not been fit")
         x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
         k_star = self.kernel(x_star, self._x_train)
+        return self.predict_from_cross(
+            k_star,
+            self.kernel.diag(x_star),
+            include_noise=include_noise,
+            x_star=x_star,
+        )
+
+    def predict_from_cross(
+        self,
+        k_star: np.ndarray,
+        prior_diag: np.ndarray,
+        include_noise: bool = True,
+        x_star: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior from a caller-supplied cross covariance.
+
+        Lets callers that can assemble ``K(x*, X)`` more cheaply than a
+        generic kernel evaluation (e.g. the structured NARGP fusion
+        kernel, whose x-dependent factors repeat across Monte-Carlo
+        samples) reuse the posterior algebra, target scaling and variance
+        flooring in one place.
+
+        Parameters
+        ----------
+        k_star:
+            Cross covariance ``K(x*, X_train)`` of shape ``(m, n)``.
+        prior_diag:
+            Prior variances ``diag(K(x*, x*))`` of shape ``(m,)``.
+        x_star:
+            The test inputs, required only when the model has a non-zero
+            prior mean.
+        """
+        if self._chol is None:
+            raise RuntimeError("model has not been fit")
         mu = k_star @ self._alpha
-        v = solve_lower(self._chol, k_star.T)
-        var = self.kernel.diag(x_star) - np.sum(v * v, axis=0)
+        v = self._lower_inv @ k_star.T
+        var = prior_diag - np.einsum("ij,ij->j", v, v)
         if include_noise:
             var = var + self.noise_variance
         var = np.maximum(var, 1e-12)
-        mu = mu * self._y_scale + self._y_shift + self.mean(x_star)
+        if x_star is None:
+            if not isinstance(self.mean, ZeroMean):
+                raise ValueError(
+                    "x_star is required when the prior mean is not zero"
+                )
+            mean_term = 0.0
+        else:
+            mean_term = self.mean(x_star)
+        mu = mu * self._y_scale + self._y_shift + mean_term
         var = var * self._y_scale**2
         return mu, var
+
+    def predict_multi(
+        self, x_batches: np.ndarray, include_noise: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior at a stack of test batches in one linear-algebra pass.
+
+        Flattens a ``(b, m, d)`` stack into one ``(b·m, d)`` kernel
+        evaluation and one triangular solve, so ``b`` related predictions
+        (e.g. the Monte-Carlo fusion samples of NARGP, paper eq. 10) cost
+        one BLAS call instead of ``b`` Python-level round trips.
+
+        Parameters
+        ----------
+        x_batches:
+            Test inputs of shape ``(b, m, d)``.
+
+        Returns
+        -------
+        (mu, var):
+            Arrays of shape ``(b, m)`` in the original target scale.
+        """
+        x_batches = np.asarray(x_batches, dtype=float)
+        if x_batches.ndim != 3:
+            raise ValueError(
+                f"expected a (b, m, d) stack, got shape {x_batches.shape}"
+            )
+        b, m, d = x_batches.shape
+        flat = x_batches.reshape(b * m, d)
+        mu, var = self.predict(flat, include_noise=include_noise)
+        return mu.reshape(b, m), var.reshape(b, m)
 
     def predict_mean(self, x_star: np.ndarray) -> np.ndarray:
         """Posterior mean only (cheaper than :meth:`predict`)."""

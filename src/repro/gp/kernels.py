@@ -50,9 +50,25 @@ class Kernel:
     Subclasses implement :meth:`__call__`, :meth:`diag` and
     :meth:`gradients`; hyperparameter plumbing (``theta``, ``bounds``,
     ``param_names``) is shared here.
+
+    Workspaces
+    ----------
+    The theta-independent part of a stationary kernel evaluation — the
+    pairwise per-dimension squared differences — does not change between
+    the hundreds of objective/gradient calls an L-BFGS-B hyperparameter
+    search makes on one fixed training set. :meth:`make_workspace`
+    precomputes those tensors once; passing the returned workspace to
+    :meth:`__call__` / :meth:`gradients` skips the recomputation. A
+    workspace is only valid for the exact ``x`` it was built from (and
+    ``x2 is None``); it stays valid across ``theta`` updates.
     """
 
-    def __call__(self, x1: np.ndarray, x2: np.ndarray | None = None) -> np.ndarray:
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         """Covariance matrix ``K(x1, x2)`` of shape ``(n1, n2)``."""
         raise NotImplementedError
 
@@ -60,13 +76,55 @@ class Kernel:
         """Diagonal of ``K(x, x)`` without forming the full matrix."""
         raise NotImplementedError
 
-    def gradients(self, x: np.ndarray) -> np.ndarray:
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         """Stack of ``dK(x, x) / d theta_j`` with shape ``(n_params, n, n)``.
 
         Derivatives are taken with respect to the **log-space** parameters,
         matching the ``theta`` vector.
         """
         raise NotImplementedError
+
+    def make_workspace(self, x: np.ndarray) -> dict:
+        """Precompute theta-independent tensors for repeated evaluation
+        of ``K(x, x)`` / ``gradients(x)`` on a fixed ``x``."""
+        x = _as_2d(x)
+        workspace: dict = {"x_ref": x}
+        self._build_workspace(x, workspace)
+        return workspace
+
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``sum_ab inner[a,b] * dK(x,x)/dtheta_j[a,b]`` for every ``j``.
+
+        This is the only quantity the marginal-likelihood gradient needs
+        (``inner = K^-1 - alpha alpha^T``); computing it directly avoids
+        materializing the full ``(n_params, n, n)`` gradient stack.
+        Subclasses override with closed forms that reduce to one
+        ``(n^2, d)`` mat-vec per kernel; this fallback contracts the
+        generic gradient stack.
+
+        Parameters
+        ----------
+        x, workspace:
+            As in :meth:`gradients`.
+        inner:
+            Symmetric ``(n, n)`` weight matrix.
+        k:
+            Optional precomputed noise-free ``K(x, x)`` of **this** kernel
+            (as returned by ``self(x)``), reused to skip re-exponentiation.
+        """
+        grads = self.gradients(x, workspace)
+        return np.tensordot(grads, inner, axes=([1, 2], [0, 1]))
+
+    def _build_workspace(self, x: np.ndarray, workspace: dict) -> None:
+        """Populate ``workspace`` (keyed by kernel node) for this subtree."""
 
     @property
     def theta(self) -> np.ndarray:
@@ -138,7 +196,7 @@ class ConstantKernel(_ActiveDimsMixin, Kernel):
     def variance(self) -> float:
         return float(np.exp(self._log_variance))
 
-    def __call__(self, x1, x2=None):
+    def __call__(self, x1, x2=None, workspace=None):
         x1 = _as_2d(x1)
         n2 = x1.shape[0] if x2 is None else _as_2d(x2).shape[0]
         return np.full((x1.shape[0], n2), self.variance)
@@ -146,9 +204,12 @@ class ConstantKernel(_ActiveDimsMixin, Kernel):
     def diag(self, x):
         return np.full(_as_2d(x).shape[0], self.variance)
 
-    def gradients(self, x):
+    def gradients(self, x, workspace=None):
         n = _as_2d(x).shape[0]
         return np.full((1, n, n), self.variance)
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        return np.array([self.variance * float(np.sum(inner))])
 
     @property
     def theta(self):
@@ -189,7 +250,7 @@ class WhiteKernel(_ActiveDimsMixin, Kernel):
     def variance(self) -> float:
         return float(np.exp(self._log_variance))
 
-    def __call__(self, x1, x2=None):
+    def __call__(self, x1, x2=None, workspace=None):
         x1 = _as_2d(x1)
         if x2 is None:
             return self.variance * np.eye(x1.shape[0])
@@ -199,9 +260,12 @@ class WhiteKernel(_ActiveDimsMixin, Kernel):
     def diag(self, x):
         return np.full(_as_2d(x).shape[0], self.variance)
 
-    def gradients(self, x):
+    def gradients(self, x, workspace=None):
         n = _as_2d(x).shape[0]
         return self.variance * np.eye(n)[None, :, :]
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        return np.array([self.variance * float(np.trace(inner))])
 
     @property
     def theta(self):
@@ -263,12 +327,24 @@ class _Stationary(_ActiveDimsMixin, Kernel):
     def lengthscales(self) -> np.ndarray:
         return np.exp(self._log_lengthscales)
 
-    def _scaled_diffs(self, x1, x2):
-        """Pairwise per-dimension differences scaled by lengthscales.
+    def _sq_diffs(self, x1, x2=None, workspace=None):
+        """Pairwise per-dimension **squared** differences, unscaled.
 
         Returns an array of shape ``(n1, n2, d)`` containing
-        ``(x1_i - x2_j) / l`` per dimension.
+        ``(x1_i - x2_j)^2`` per active dimension. This tensor does not
+        depend on ``theta``, so when a ``workspace`` built on the same
+        ``x1`` (with ``x2 is None``) is supplied, the cached copy is
+        returned instead of recomputing. The cache is keyed by the
+        identity of the array the workspace was built from; any other
+        input silently takes the fresh-computation path.
         """
+        if (
+            workspace is not None
+            and x2 is None
+            and self in workspace
+            and workspace.get("x_ref") is x1
+        ):
+            return workspace[self]
         x1 = self._slice(x1)
         x2 = x1 if x2 is None else self._slice(x2)
         if x1.shape[1] != self.input_dim or x2.shape[1] != self.input_dim:
@@ -276,7 +352,25 @@ class _Stationary(_ActiveDimsMixin, Kernel):
                 f"kernel expects {self.input_dim} active input dims, got "
                 f"{x1.shape[1]} and {x2.shape[1]}"
             )
-        return (x1[:, None, :] - x2[None, :, :]) / self.lengthscales
+        diffs = x1[:, None, :] - x2[None, :, :]
+        return diffs * diffs
+
+    def _build_workspace(self, x, workspace):
+        workspace[self] = self._sq_diffs(x)
+
+    @property
+    def _inv_sq_lengthscales(self) -> np.ndarray:
+        return np.exp(-2.0 * self._log_lengthscales)
+
+    def _weighted_sq_traces(
+        self, weight: np.ndarray, sq_diffs: np.ndarray
+    ) -> np.ndarray:
+        """``sum_ab weight[a,b] * sq_diffs[a,b,i] / l_i^2`` per dimension,
+        as one ``(n^2,) @ (n^2, d)`` mat-vec."""
+        n2 = weight.size
+        return (weight.reshape(n2) @ sq_diffs.reshape(n2, -1)) * (
+            self._inv_sq_lengthscales
+        )
 
     def diag(self, x):
         return np.full(_as_2d(x).shape[0], self.variance)
@@ -314,20 +408,30 @@ class RBF(_Stationary):
 
     _prefix = "rbf"
 
-    def __call__(self, x1, x2=None):
-        diffs = self._scaled_diffs(x1, x2)
-        sq = np.sum(diffs * diffs, axis=2)
+    def __call__(self, x1, x2=None, workspace=None):
+        sq_diffs = self._sq_diffs(x1, x2, workspace)
+        sq = sq_diffs @ self._inv_sq_lengthscales
         return self.variance * np.exp(-0.5 * sq)
 
-    def gradients(self, x):
-        diffs = self._scaled_diffs(x, None)
-        sq_per_dim = diffs * diffs
+    def gradients(self, x, workspace=None):
+        sq_per_dim = self._sq_diffs(x, None, workspace) * self._inv_sq_lengthscales
         k = self.variance * np.exp(-0.5 * np.sum(sq_per_dim, axis=2))
         grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
         grads[0] = k  # d/d log(variance)
-        for i in range(self.input_dim):
-            grads[1 + i] = k * sq_per_dim[:, :, i]  # d/d log(l_i)
+        grads[1:] = k[None, :, :] * np.moveaxis(sq_per_dim, 2, 0)  # d/d log(l_i)
         return grads
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        sq_diffs = self._sq_diffs(x, None, workspace)
+        if k is None:
+            k = self.variance * np.exp(
+                -0.5 * (sq_diffs @ self._inv_sq_lengthscales)
+            )
+        w = inner * k
+        out = np.empty(self.n_params)
+        out[0] = np.sum(w)
+        out[1:] = self._weighted_sq_traces(w, sq_diffs)
+        return out
 
 
 class Matern32(_Stationary):
@@ -335,23 +439,36 @@ class Matern32(_Stationary):
 
     _prefix = "matern32"
 
-    def __call__(self, x1, x2=None):
-        diffs = self._scaled_diffs(x1, x2)
-        r = np.sqrt(np.sum(diffs * diffs, axis=2))
+    def __call__(self, x1, x2=None, workspace=None):
+        sq_diffs = self._sq_diffs(x1, x2, workspace)
+        r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
         return self.variance * (1.0 + _SQRT3 * r) * np.exp(-_SQRT3 * r)
 
-    def gradients(self, x):
-        diffs = self._scaled_diffs(x, None)
-        sq_per_dim = diffs * diffs
+    def gradients(self, x, workspace=None):
+        sq_per_dim = self._sq_diffs(x, None, workspace) * self._inv_sq_lengthscales
         r = np.sqrt(np.sum(sq_per_dim, axis=2))
         expart = np.exp(-_SQRT3 * r)
         k = self.variance * (1.0 + _SQRT3 * r) * expart
         grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
         grads[0] = k
         base = 3.0 * self.variance * expart
-        for i in range(self.input_dim):
-            grads[1 + i] = base * sq_per_dim[:, :, i]
+        grads[1:] = base[None, :, :] * np.moveaxis(sq_per_dim, 2, 0)
         return grads
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        sq_diffs = self._sq_diffs(x, None, workspace)
+        r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
+        poly = 1.0 + _SQRT3 * r
+        if k is None:
+            expart = np.exp(-_SQRT3 * r)
+            k = self.variance * poly * expart
+        else:
+            expart = k / (self.variance * poly)
+        out = np.empty(self.n_params)
+        out[0] = np.sum(inner * k)
+        w = inner * (3.0 * self.variance * expart)
+        out[1:] = self._weighted_sq_traces(w, sq_diffs)
+        return out
 
 
 class Matern52(_Stationary):
@@ -361,15 +478,14 @@ class Matern52(_Stationary):
 
     _prefix = "matern52"
 
-    def __call__(self, x1, x2=None):
-        diffs = self._scaled_diffs(x1, x2)
-        r = np.sqrt(np.sum(diffs * diffs, axis=2))
+    def __call__(self, x1, x2=None, workspace=None):
+        sq_diffs = self._sq_diffs(x1, x2, workspace)
+        r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
         poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
         return self.variance * poly * np.exp(-_SQRT5 * r)
 
-    def gradients(self, x):
-        diffs = self._scaled_diffs(x, None)
-        sq_per_dim = diffs * diffs
+    def gradients(self, x, workspace=None):
+        sq_per_dim = self._sq_diffs(x, None, workspace) * self._inv_sq_lengthscales
         r = np.sqrt(np.sum(sq_per_dim, axis=2))
         expart = np.exp(-_SQRT5 * r)
         poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
@@ -377,9 +493,23 @@ class Matern52(_Stationary):
         grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
         grads[0] = k
         base = (5.0 / 3.0) * self.variance * (1.0 + _SQRT5 * r) * expart
-        for i in range(self.input_dim):
-            grads[1 + i] = base * sq_per_dim[:, :, i]
+        grads[1:] = base[None, :, :] * np.moveaxis(sq_per_dim, 2, 0)
         return grads
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        sq_diffs = self._sq_diffs(x, None, workspace)
+        r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
+        poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
+        if k is None:
+            expart = np.exp(-_SQRT5 * r)
+            k = self.variance * poly * expart
+        else:
+            expart = k / (self.variance * poly)
+        out = np.empty(self.n_params)
+        out[0] = np.sum(inner * k)
+        w = inner * ((5.0 / 3.0) * self.variance * (1.0 + _SQRT5 * r) * expart)
+        out[1:] = self._weighted_sq_traces(w, sq_diffs)
+        return out
 
 
 class _Combination(Kernel):
@@ -414,31 +544,60 @@ class _Combination(Kernel):
 class Sum(_Combination):
     """Pointwise sum of two kernels."""
 
-    def __call__(self, x1, x2=None):
-        return self.left(x1, x2) + self.right(x1, x2)
+    def __call__(self, x1, x2=None, workspace=None):
+        return self.left(x1, x2, workspace) + self.right(x1, x2, workspace)
 
     def diag(self, x):
         return self.left.diag(x) + self.right.diag(x)
 
-    def gradients(self, x):
-        return np.concatenate([self.left.gradients(x), self.right.gradients(x)])
+    def gradients(self, x, workspace=None):
+        return np.concatenate(
+            [self.left.gradients(x, workspace), self.right.gradients(x, workspace)]
+        )
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        return np.concatenate(
+            [
+                self.left.gradient_traces(x, inner, workspace),
+                self.right.gradient_traces(x, inner, workspace),
+            ]
+        )
+
+    def _build_workspace(self, x, workspace):
+        self.left._build_workspace(x, workspace)
+        self.right._build_workspace(x, workspace)
 
 
 class Product(_Combination):
     """Pointwise product of two kernels."""
 
-    def __call__(self, x1, x2=None):
-        return self.left(x1, x2) * self.right(x1, x2)
+    def __call__(self, x1, x2=None, workspace=None):
+        return self.left(x1, x2, workspace) * self.right(x1, x2, workspace)
 
     def diag(self, x):
         return self.left.diag(x) * self.right.diag(x)
 
-    def gradients(self, x):
-        k_left = self.left(x)
-        k_right = self.right(x)
-        grads_left = self.left.gradients(x) * k_right[None, :, :]
-        grads_right = self.right.gradients(x) * k_left[None, :, :]
+    def gradients(self, x, workspace=None):
+        k_left = self.left(x, workspace=workspace)
+        k_right = self.right(x, workspace=workspace)
+        grads_left = self.left.gradients(x, workspace) * k_right[None, :, :]
+        grads_right = self.right.gradients(x, workspace) * k_left[None, :, :]
         return np.concatenate([grads_left, grads_right])
+
+    def gradient_traces(self, x, inner, workspace=None, k=None):
+        # tr(inner (dK_l o K_r)) = tr((inner o K_r) dK_l) and vice versa.
+        k_left = self.left(x, workspace=workspace)
+        k_right = self.right(x, workspace=workspace)
+        return np.concatenate(
+            [
+                self.left.gradient_traces(x, inner * k_right, workspace, k=k_left),
+                self.right.gradient_traces(x, inner * k_left, workspace, k=k_right),
+            ]
+        )
+
+    def _build_workspace(self, x, workspace):
+        self.left._build_workspace(x, workspace)
+        self.right._build_workspace(x, workspace)
 
 
 def nargp_kernel(input_dim: int, n_outputs_low: int = 1) -> Kernel:

@@ -19,6 +19,8 @@ __all__ = [
     "solve_upper",
     "log_det_from_chol",
     "symmetrize",
+    "chol_append",
+    "chol_rank1_update",
 ]
 
 #: Ladder of jitter magnitudes tried (relative to the mean diagonal) before
@@ -93,3 +95,83 @@ def solve_upper(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
 def log_det_from_chol(lower: np.ndarray) -> float:
     """Log-determinant of ``A`` from its lower Cholesky factor."""
     return 2.0 * float(np.sum(np.log(np.diag(lower))))
+
+
+def chol_append(
+    lower: np.ndarray, cross: np.ndarray, block: np.ndarray
+) -> np.ndarray:
+    """Extend a Cholesky factor when rows/columns are appended to ``A``.
+
+    Given the lower factor ``L`` of an ``(n, n)`` matrix ``A``, return the
+    lower factor of::
+
+        [[A,        cross.T],
+         [cross,    block  ]]
+
+    in ``O(n^2 m)`` instead of the ``O((n + m)^3)`` full refactorization —
+    the update a Bayesian-optimization loop needs when it appends one
+    evaluation per iteration (``m = 1``).
+
+    Parameters
+    ----------
+    lower:
+        Lower Cholesky factor of the existing ``(n, n)`` matrix.
+    cross:
+        New off-diagonal block ``K(x_new, x_old)`` of shape ``(m, n)``.
+    block:
+        New diagonal block ``K(x_new, x_new)`` of shape ``(m, m)``.
+
+    Raises
+    ------
+    CholeskyError
+        If the extended matrix is not positive definite (callers should
+        fall back to :func:`jitter_cholesky` on the full matrix).
+    """
+    lower = np.asarray(lower, dtype=float)
+    cross = np.atleast_2d(np.asarray(cross, dtype=float))
+    block = np.atleast_2d(np.asarray(block, dtype=float))
+    n = lower.shape[0]
+    m = cross.shape[0]
+    if cross.shape[1] != n or block.shape != (m, m):
+        raise ValueError(
+            f"shape mismatch: lower {lower.shape}, cross {cross.shape}, "
+            f"block {block.shape}"
+        )
+    l21 = _solve_triangular(lower, cross.T, lower=True, check_finite=False).T
+    schur = symmetrize(block - l21 @ l21.T)
+    try:
+        l22 = _cholesky(schur, lower=True, check_finite=False)
+    except np.linalg.LinAlgError as exc:
+        raise CholeskyError(
+            "appended block makes the matrix indefinite"
+        ) from exc
+    out = np.zeros((n + m, n + m))
+    out[:n, :n] = lower
+    out[n:, :n] = l21
+    out[n:, n:] = l22
+    return out
+
+
+def chol_rank1_update(lower: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of ``A + v v^T`` from that of ``A``.
+
+    Classic ``O(n^2)`` hyperbolic-rotation update (Gill, Golub, Murray &
+    Saunders 1974). The input factor is not modified.
+    """
+    lower = np.asarray(lower, dtype=float)
+    v = np.asarray(v, dtype=float).ravel().copy()
+    n = lower.shape[0]
+    if lower.shape != (n, n) or v.size != n:
+        raise ValueError(
+            f"shape mismatch: lower {lower.shape}, v {v.shape}"
+        )
+    out = lower.copy()
+    for k in range(n):
+        r = np.hypot(out[k, k], v[k])
+        c = r / out[k, k]
+        s = v[k] / out[k, k]
+        out[k, k] = r
+        if k + 1 < n:
+            out[k + 1 :, k] = (out[k + 1 :, k] + s * v[k + 1 :]) / c
+            v[k + 1 :] = c * v[k + 1 :] - s * out[k + 1 :, k]
+    return out

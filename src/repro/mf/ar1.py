@@ -47,8 +47,18 @@ class AR1:
         x_high: np.ndarray,
         y_high: np.ndarray,
         rng: np.random.Generator | None = None,
+        low_model: GPR | None = None,
     ) -> "AR1":
-        """Train the low-fidelity GP, estimate ``rho`` and fit ``delta``."""
+        """Train the low-fidelity GP, estimate ``rho`` and fit ``delta``.
+
+        Parameters
+        ----------
+        low_model:
+            An already-trained low-fidelity :class:`~repro.gp.GPR` to
+            reuse (the BO loop fits the low GP once per iteration and
+            shares it here, as with :class:`repro.mf.NARGP`). When
+            omitted a fresh GP is fit on ``(x_low, y_low)``.
+        """
         rng = rng if rng is not None else np.random.default_rng()
         x_low = np.atleast_2d(np.asarray(x_low, dtype=float))
         x_high = np.atleast_2d(np.asarray(x_high, dtype=float))
@@ -58,8 +68,13 @@ class AR1:
                 "low- and high-fidelity inputs must share dimensionality"
             )
 
-        self.low_model = GPR(noise_variance=self.noise_variance)
-        self.low_model.fit(x_low, y_low, n_restarts=self.n_restarts, rng=rng)
+        if low_model is not None:
+            self.low_model = low_model
+        else:
+            self.low_model = GPR(noise_variance=self.noise_variance)
+            self.low_model.fit(
+                x_low, y_low, n_restarts=self.n_restarts, rng=rng
+            )
         mu_low = self.low_model.predict_mean(x_high)
 
         rho_seed = self._ols_rho(mu_low, y_high)

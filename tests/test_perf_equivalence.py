@@ -1,0 +1,321 @@
+"""Equivalence guards for the vectorized/cached hot paths.
+
+Every performance shortcut in the GP stack — kernel workspace caching,
+the single-Cholesky NLML gradient, batched NARGP Monte-Carlo fusion,
+incremental Cholesky updates and the ``refit_every`` BO policy — must
+produce the same numbers as the straightforward reference computation.
+These tests pin that equivalence to tight tolerances on seeded data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MFBOptimizer
+from repro.gp import GPR
+from repro.gp.kernels import RBF, Matern32, Matern52, WhiteKernel, nargp_kernel
+from repro.gp.linalg import (
+    CholeskyError,
+    chol_append,
+    chol_rank1_update,
+    jitter_cholesky,
+)
+from repro.mf import NARGP
+from repro.optim.msp import MSPOptimizer
+from repro.problems import ForresterProblem, pedagogical_high, pedagogical_low
+
+
+# ---------------------------------------------------------------------------
+# kernel workspace caching
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "make_kernel",
+    [
+        lambda: RBF(4, variance=1.7, lengthscales=[0.3, 1.0, 2.0, 0.7]),
+        lambda: Matern32(4, variance=0.9, lengthscales=0.5),
+        lambda: Matern52(4, variance=2.1, lengthscales=1.4),
+        lambda: RBF(4) * Matern32(4) + WhiteKernel(0.01),
+        lambda: nargp_kernel(3),
+    ],
+    ids=["rbf", "matern32", "matern52", "composite", "nargp"],
+)
+def test_workspace_matches_fresh_evaluation(make_kernel):
+    """K(x, x) and gradients from a cached workspace are identical to the
+    fresh computation, including after theta updates."""
+    kernel = make_kernel()
+    rng = np.random.default_rng(0)
+    x = rng.random((15, 4))
+    workspace = kernel.make_workspace(x)
+
+    np.testing.assert_array_equal(kernel(x, workspace=workspace), kernel(x))
+    np.testing.assert_array_equal(
+        kernel.gradients(x, workspace=workspace), kernel.gradients(x)
+    )
+
+    # The workspace is theta-independent: mutate every hyperparameter and
+    # the cached tensors must still reproduce the fresh evaluation.
+    kernel.theta = kernel.theta + rng.normal(scale=0.3, size=kernel.n_params)
+    np.testing.assert_array_equal(kernel(x, workspace=workspace), kernel(x))
+    np.testing.assert_array_equal(
+        kernel.gradients(x, workspace=workspace), kernel.gradients(x)
+    )
+
+
+@pytest.mark.parametrize(
+    "make_kernel",
+    [
+        lambda: RBF(4, variance=1.7, lengthscales=[0.3, 1.0, 2.0, 0.7]),
+        lambda: Matern32(4, variance=0.9, lengthscales=0.5),
+        lambda: Matern52(4, variance=2.1, lengthscales=1.4),
+        lambda: RBF(4) * Matern32(4) + WhiteKernel(0.01),
+        lambda: nargp_kernel(3),
+    ],
+    ids=["rbf", "matern32", "matern52", "composite", "nargp"],
+)
+def test_gradient_traces_match_gradient_stack(make_kernel):
+    """The closed-form trace contraction equals contracting the full
+    (n_params, n, n) gradient stack, with and without a precomputed K."""
+    kernel = make_kernel()
+    rng = np.random.default_rng(14)
+    x = rng.random((12, 4))
+    w = rng.standard_normal((12, 12))
+    inner = 0.5 * (w + w.T)
+    reference = np.tensordot(kernel.gradients(x), inner, axes=([1, 2], [0, 1]))
+    np.testing.assert_allclose(
+        kernel.gradient_traces(x, inner), reference, rtol=1e-10, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        kernel.gradient_traces(x, inner, k=kernel(x)),
+        reference,
+        rtol=1e-10,
+        atol=1e-12,
+    )
+
+
+def test_workspace_guarded_by_input_identity():
+    """A workspace is keyed to the array it was built from: a different
+    array of the same shape must take the fresh-computation path."""
+    kernel = RBF(2, lengthscales=[0.4, 0.9])
+    rng = np.random.default_rng(15)
+    x = rng.random((8, 2))
+    other = rng.random((8, 2))
+    workspace = kernel.make_workspace(x)
+    np.testing.assert_array_equal(
+        kernel(other, workspace=workspace), kernel(other)
+    )
+    assert not np.array_equal(kernel(other, workspace=workspace), kernel(x))
+
+
+def test_workspace_ignored_for_cross_covariances():
+    """A workspace built on the training set must not leak into K(x*, x)."""
+    kernel = RBF(2, lengthscales=[0.4, 0.9])
+    rng = np.random.default_rng(1)
+    x = rng.random((10, 2))
+    x_star = rng.random((6, 2))
+    workspace = kernel.make_workspace(x)
+    np.testing.assert_array_equal(
+        kernel(x_star, x, workspace=workspace), kernel(x_star, x)
+    )
+
+
+def test_nlml_and_grad_matches_reference_formulation():
+    """The workspace-cached, single-Cholesky NLML/gradient equals the
+    textbook dense-inverse formulation (the seed implementation)."""
+    rng = np.random.default_rng(2)
+    x = rng.random((25, 3))
+    y = np.sin(x @ np.array([2.0, -1.0, 0.5])) + 0.05 * rng.standard_normal(25)
+    model = GPR().fit(x, y, n_restarts=1, rng=rng)
+
+    theta = np.concatenate([model.kernel.theta, [np.log(model.noise_variance)]])
+    for probe in (theta, theta + 0.2, theta - 0.3):
+        nlml, grad = model._nlml_and_grad(probe)
+
+        # reference: fresh kernel evaluation, explicit K^{-1}
+        from scipy.linalg import cho_solve as ref_cho_solve
+
+        n = x.shape[0]
+        k = model.kernel(x) + model.noise_variance * np.eye(n)
+        lower, _ = jitter_cholesky(k)
+        y_std = model._y_train
+        alpha = ref_cho_solve((lower, True), y_std)
+        ref_nlml = 0.5 * (
+            float(y_std @ alpha)
+            + 2.0 * float(np.sum(np.log(np.diag(lower))))
+            + n * np.log(2.0 * np.pi)
+        )
+        k_inv = ref_cho_solve((lower, True), np.eye(n))
+        inner = k_inv - np.outer(alpha, alpha)
+        grads = model.kernel.gradients(x)
+        ref_grad = np.empty(probe.size)
+        for j in range(grads.shape[0]):
+            ref_grad[j] = 0.5 * float(np.sum(inner * grads[j]))
+        ref_grad[-1] = 0.5 * model.noise_variance * float(np.trace(inner))
+
+        assert nlml == pytest.approx(ref_nlml, rel=1e-10)
+        np.testing.assert_allclose(grad, ref_grad, rtol=1e-8, atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# batched NARGP Monte-Carlo fusion
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fitted_nargp():
+    rng = np.random.default_rng(3)
+    x_low = np.sort(rng.random(30))[:, None]
+    x_high = np.sort(rng.random(9))[:, None]
+    return NARGP(n_restarts=1, max_opt_iter=60).fit(
+        x_low, pedagogical_low(x_low),
+        x_high, pedagogical_high(x_high),
+        rng=np.random.default_rng(4),
+    )
+
+
+def test_batched_fusion_matches_per_sample_loop(fitted_nargp):
+    """Stacked (n_mc * m) fused prediction equals the per-sample Python
+    loop of the seed implementation to rtol 1e-8."""
+    model = fitted_nargp
+    x_star = np.linspace(0.0, 1.0, 37)[:, None]
+    z = np.random.default_rng(5).standard_normal(48)
+
+    mu, var = model.predict(x_star, z=z)
+
+    # reference: one high-fidelity predict per Monte-Carlo sample
+    mu_low, var_low = model.low_model.predict(x_star)
+    low_samples = mu_low[None, :] + np.sqrt(var_low)[None, :] * z[:, None]
+    mean_acc = np.zeros(x_star.shape[0])
+    second_acc = np.zeros(x_star.shape[0])
+    for sample in low_samples:
+        mu_s, var_s = model.high_model.predict(
+            np.column_stack([x_star, sample])
+        )
+        mean_acc += mu_s
+        second_acc += var_s + mu_s * mu_s
+    ref_mu = mean_acc / z.size
+    ref_var = np.maximum(second_acc / z.size - ref_mu * ref_mu, 1e-12)
+
+    np.testing.assert_allclose(mu, ref_mu, rtol=1e-8)
+    np.testing.assert_allclose(var, ref_var, rtol=1e-8)
+
+
+def test_predict_multi_matches_stacked_predict(fitted_nargp):
+    model = fitted_nargp.high_model
+    rng = np.random.default_rng(6)
+    batches = rng.random((5, 11, 2))
+    mu, var = model.predict_multi(batches)
+    assert mu.shape == var.shape == (5, 11)
+    for b in range(5):
+        mu_b, var_b = model.predict(batches[b])
+        np.testing.assert_allclose(mu[b], mu_b, rtol=1e-8)
+        np.testing.assert_allclose(var[b], var_b, rtol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# incremental Cholesky updates
+# ---------------------------------------------------------------------------
+def _random_spd(rng, n):
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+def test_chol_append_matches_full_factorization():
+    rng = np.random.default_rng(7)
+    full = _random_spd(rng, 14)
+    n = 10
+    lower = np.linalg.cholesky(full[:n, :n])
+    extended = chol_append(lower, full[n:, :n], full[n:, n:])
+    reference = np.linalg.cholesky(full)
+    np.testing.assert_allclose(extended, reference, rtol=1e-8, atol=1e-10)
+
+
+def test_chol_append_rejects_indefinite_block():
+    rng = np.random.default_rng(8)
+    spd = _random_spd(rng, 6)
+    lower = np.linalg.cholesky(spd)
+    cross = rng.standard_normal((1, 6))
+    with pytest.raises(CholeskyError):
+        chol_append(lower, cross, np.array([[-5.0]]))
+
+
+def test_chol_rank1_update_matches_refactorization():
+    rng = np.random.default_rng(9)
+    a = _random_spd(rng, 12)
+    v = rng.standard_normal(12)
+    updated = chol_rank1_update(np.linalg.cholesky(a), v)
+    reference = np.linalg.cholesky(a + np.outer(v, v))
+    np.testing.assert_allclose(updated, reference, rtol=1e-8, atol=1e-10)
+
+
+def test_gpr_add_points_matches_full_refit():
+    """Incremental posterior extension equals a from-scratch rebuild at
+    the same hyperparameters."""
+    rng = np.random.default_rng(10)
+    x = rng.random((20, 3))
+    y = np.cos(x @ np.array([3.0, 1.0, -2.0])) + 0.01 * rng.standard_normal(20)
+    model = GPR().fit(x[:15], y[:15], n_restarts=1, rng=rng)
+    theta_before = model.kernel.theta.copy()
+
+    model.add_points(x[15:], y[15:])
+
+    reference = GPR(
+        kernel=RBF(3), noise_variance=model.noise_variance, normalize_y=True
+    )
+    reference.kernel.theta = theta_before
+    reference.fit(x, y, optimize=False)
+
+    np.testing.assert_array_equal(model.kernel.theta, theta_before)
+    assert model.n_train == 20
+    grid = rng.random((40, 3))
+    mu_inc, var_inc = model.predict(grid)
+    mu_ref, var_ref = reference.predict(grid)
+    np.testing.assert_allclose(mu_inc, mu_ref, rtol=1e-8)
+    # atol matches the 1e-12 variance floor of GPR.predict: near-zero
+    # variances cancel in the last ulps between the incremental and the
+    # refactored Cholesky.
+    np.testing.assert_allclose(var_inc, var_ref, rtol=1e-8, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# MSP batched polish + refit_every policy
+# ---------------------------------------------------------------------------
+def test_msp_batched_jac_polish_finds_smooth_optimum():
+    optimum = np.array([0.3, 0.7])
+
+    calls = {"n": 0, "points": 0}
+
+    def acquisition(x):
+        x = np.atleast_2d(x)
+        calls["n"] += 1
+        calls["points"] += x.shape[0]
+        return -np.sum((x - optimum) ** 2, axis=1)
+
+    opt = MSPOptimizer(dim=2, n_starts=60, n_polish=3,
+                       rng=np.random.default_rng(11))
+    result = opt.maximize(acquisition)
+    np.testing.assert_allclose(result.x, optimum, atol=1e-3)
+    # The polish phase batches each finite-difference stencil into a
+    # single acquisition call: d+1 points per call, so the number of
+    # points dominates the number of calls.
+    assert result.n_evaluations == calls["points"]
+    assert calls["points"] > calls["n"]
+
+
+def test_refit_every_policy_runs_and_matches_default_quality():
+    problem = ForresterProblem()
+    result = MFBOptimizer(
+        problem, budget=10.0, n_init_low=8, n_init_high=3,
+        seed=12, msp_starts=30, n_restarts=1, refit_every=3,
+    ).run()
+    assert result.feasible
+    assert np.isfinite(result.best_objective)
+
+
+def test_history_x_unit_matrix_tracks_records():
+    problem = ForresterProblem()
+    opt = MFBOptimizer(
+        problem, budget=6.0, n_init_low=5, n_init_high=2,
+        seed=13, msp_starts=20, n_restarts=1,
+    )
+    opt.run()
+    stack = opt.history.x_unit_matrix
+    assert stack.shape == (len(opt.history), problem.dim)
+    reference = np.vstack([r.x_unit for r in opt.history.records])
+    np.testing.assert_array_equal(stack, reference)
