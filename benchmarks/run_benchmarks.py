@@ -9,11 +9,15 @@ record its perf trajectory next to the previous ones::
 
     python benchmarks/run_benchmarks.py                 # substrate suite
     python benchmarks/run_benchmarks.py --all           # every benchmark
+    python benchmarks/run_benchmarks.py --smoke         # CI breakage check
     python benchmarks/run_benchmarks.py --out custom.json
     python benchmarks/run_benchmarks.py --compare BENCH_a.json BENCH_b.json
 
 ``--compare`` prints per-test speedup ratios between two emitted files
-and exits without running anything.
+and exits without running anything. ``--smoke`` executes every substrate
+benchmark body exactly once with timing collection disabled — a fast
+pass that surfaces breakage (import errors, API drift, assertion
+failures) in CI without the noise-sensitive timing loops.
 """
 
 from __future__ import annotations
@@ -34,15 +38,18 @@ def default_output_name() -> str:
     return f"BENCH_{datetime.date.today().isoformat()}.json"
 
 
-def run_suite(target: str, out_path: Path) -> int:
+def run_suite(target: str, out_path: Path | None) -> int:
     command = [
         sys.executable,
         "-m",
         "pytest",
         target,
         "-q",
-        f"--benchmark-json={out_path}",
     ]
+    if out_path is None:  # smoke mode: run each body once, no timing
+        command.append("--benchmark-disable")
+    else:
+        command.append(f"--benchmark-json={out_path}")
     env = _build_env(str(REPO_ROOT / "src"))
     print(f"$ {' '.join(command)}")
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
@@ -98,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
         "perf suite",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run every substrate benchmark body once without timing "
+        "(fast CI breakage check, writes no JSON)",
+    )
+    parser.add_argument(
         "--compare",
         nargs=2,
         metavar=("BEFORE", "AFTER"),
@@ -109,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
         compare(Path(args.compare[0]), Path(args.compare[1]))
         return 0
 
+    if args.smoke and args.out:
+        parser.error("--smoke writes no JSON; drop --out or --smoke")
+    target = "benchmarks" if args.all else SUBSTRATE_SUITE
+    if args.smoke:
+        return run_suite(target, None)
+
     # Resolve against the caller's cwd: pytest below runs with
     # cwd=REPO_ROOT, which would silently relocate a relative --out.
     out_path = (
@@ -116,7 +135,6 @@ def main(argv: list[str] | None = None) -> int:
         if args.out
         else REPO_ROOT / default_output_name()
     )
-    target = "benchmarks" if args.all else SUBSTRATE_SUITE
     status = run_suite(target, out_path)
     if status == 0:
         print(f"wrote {out_path}")

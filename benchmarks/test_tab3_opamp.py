@@ -1,0 +1,26 @@
+"""Table 3 bench: two-stage op-amp four-way comparison.
+
+Runs the op-amp sizing protocol (ours / WEIBO / GASPAD / DE, repeated
+with independent seeds) at the current scale — smoke-sized budgets by
+default, larger budgets with ``REPRO_FULL=1`` — and prints the same row
+structure as the paper's tables.
+
+The assertion checks the cost shape (the multi-fidelity method must not
+out-spend the evolutionary baselines) and that every algorithm produced
+a finite frequency-domain characterization.
+"""
+
+import numpy as np
+
+from repro.experiments import current_scale, tab3_opamp
+
+
+def test_tab3_opamp(once):
+    result = once(tab3_opamp, scale=current_scale())
+    print("\n" + result["table"])
+    rows = result["rows"]
+    assert rows["Ours"]["Avg.#Sim"] <= rows["GASPAD"]["Avg.#Sim"]
+    assert rows["Ours"]["Avg.#Sim"] <= rows["DE"]["Avg.#Sim"]
+    for name, row in rows.items():
+        assert np.isfinite(row["Gain/dB"]), name
+        assert row["P(best)/mW"] > 0.0, name

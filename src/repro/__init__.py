@@ -10,8 +10,10 @@ Public API highlights
   :class:`repro.baselines.DEOptimizer` — the compared methods.
 - :class:`repro.mf.NARGP` — nonlinear two-fidelity GP fusion (§3).
 - :class:`repro.gp.GPR` — exact GP regression substrate (§2.3).
-- :mod:`repro.circuits` — power-amplifier and charge-pump testbenches.
-- :mod:`repro.spice` — a small MNA circuit simulator substrate.
+- :mod:`repro.circuits` — power-amplifier, charge-pump and two-stage
+  op-amp testbenches.
+- :mod:`repro.spice` — a small MNA circuit simulator substrate
+  (DC, transient and AC small-signal analyses).
 """
 
 from .acquisition import (

@@ -1,6 +1,7 @@
-"""Circuit optimization testbenches (paper §5)."""
+"""Circuit optimization testbenches (paper §5 plus new workloads)."""
 
 from .charge_pump import ChargePumpProblem, charge_pump_currents
+from .opamp import OpAmpProblem, build_opamp_circuit, simulate_opamp
 from .power_amplifier import PowerAmplifierProblem, build_pa_circuit, simulate_pa
 from .pvt import Corner, N_CORNERS, all_corners, typical_corner
 
@@ -10,6 +11,9 @@ __all__ = [
     "simulate_pa",
     "ChargePumpProblem",
     "charge_pump_currents",
+    "OpAmpProblem",
+    "build_opamp_circuit",
+    "simulate_opamp",
     "Corner",
     "N_CORNERS",
     "all_corners",

@@ -1,0 +1,222 @@
+"""Two-stage Miller op-amp sizing — the frequency-domain benchmark.
+
+The classic analog-sizing benchmark the paper's engine is pitched at:
+a two-stage Miller-compensated operational amplifier whose specs (DC
+gain, unity-gain frequency, phase margin, power) all live in the
+frequency domain. It exercises the :mod:`repro.spice.ac` small-signal
+subsystem end to end: the transistor-level netlist is biased with the
+Newton DC solver, every device is linearized at that operating point,
+and the open-loop response is swept with the batched complex MNA solve.
+
+Topology (all lengths 1 um):
+
+* bias: ``Rb`` from VDD into diode-connected ``M8``, mirrored by the
+  tail device ``M5`` (2x) and the output sink ``M7``;
+* first stage: NMOS pair ``M1``/``M2`` with PMOS mirror load
+  ``M3``/``M4``;
+* second stage: PMOS common-source ``M6`` with Miller capacitor ``Cc``
+  (no nulling resistor, so the right-half-plane zero is part of the
+  phase-margin trade-off) into a fixed load ``CL``.
+
+``M7`` is sized ``W8 * W6 / W3`` for zero systematic offset, which keeps
+the open-loop output bias meaningful across the whole design space.
+
+Fidelity axis: the coarse evaluation sweeps 6x fewer frequency points
+*and* uses a simplified device model with exaggerated channel-length
+modulation (biasing the predicted gain low and the pole positions off),
+the fine evaluation runs the full sweep with the nominal model — cheap
+and systematically wrong vs. expensive and right, the structure the
+paper's NARGP fusion exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..design.space import DesignSpace, Variable
+from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+from ..spice.ac import solve_ac
+from ..spice.dc import ConvergenceError, solve_dc
+from ..spice.elements import MOSFET, Capacitor, Resistor, VoltageSource
+from ..spice.netlist import Circuit
+
+__all__ = ["OpAmpProblem", "build_opamp_circuit", "simulate_opamp"]
+
+#: Supply voltage and input common mode.
+VDD_V = 1.8
+VCM_V = 0.9
+#: Load capacitance driven by the second stage.
+LOAD_F = 5e-12
+#: Bias mirror reference width (M8); the tail device is 2x.
+BIAS_W = 10e-6
+#: Drawn channel length for every device.
+LENGTH_M = 1e-6
+#: Device parameters (level-1): NMOS / PMOS transconductance and Vth.
+KP_N = 2e-4
+KP_P = 1e-4
+VTH_V = 0.5
+#: Channel-length modulation: nominal, and the exaggerated value of the
+#: coarse fidelity's simplified device model.
+LAMBDA = {FIDELITY_HIGH: 0.05, FIDELITY_LOW: 0.09}
+#: AC sweep: 10 Hz to 3 GHz, full vs. decimated grids (6x cost ratio).
+F_START_HZ = 10.0
+F_STOP_HZ = 3e9
+SWEEP_POINTS = {FIDELITY_LOW: 20, FIDELITY_HIGH: 120}
+COST_RATIO = SWEEP_POINTS[FIDELITY_HIGH] / SWEEP_POINTS[FIDELITY_LOW]
+#: Metrics reported when the bias point cannot be established.
+FAILED_METRICS = {
+    "gain_db": -100.0,
+    "ugf_mhz": 0.0,
+    "pm_deg": 0.0,
+    "power_mw": 10.0,
+}
+
+
+def build_opamp_circuit(
+    w1: float,
+    w3: float,
+    w6: float,
+    rb: float,
+    cc: float,
+    lambda_: float = LAMBDA[FIDELITY_HIGH],
+) -> Circuit:
+    """Assemble the two-stage op-amp netlist for one design point.
+
+    Parameters are physical: widths in metres, ``rb`` in ohms, ``cc`` in
+    farads. The non-inverting input carries the unit AC excitation, so
+    the phasor at ``out`` is the open-loop differential gain.
+    """
+    nmos = dict(polarity="nmos", l=LENGTH_M, kp=KP_N, vth=VTH_V,
+                lambda_=lambda_)
+    pmos = dict(polarity="pmos", l=LENGTH_M, kp=KP_P, vth=VTH_V,
+                lambda_=lambda_)
+    circuit = Circuit("two-stage-opamp")
+    circuit.add(VoltageSource("VDD", "vdd", "0", dc=VDD_V))
+    circuit.add(VoltageSource("VIP", "inp", "0", dc=VCM_V, ac=1.0))
+    circuit.add(VoltageSource("VIN", "inn", "0", dc=VCM_V))
+    # bias chain: Rb -> diode M8, mirrored by tail M5 (2x) and sink M7
+    circuit.add(Resistor("Rb", "vdd", "nb", rb))
+    circuit.add(MOSFET("M8", "nb", "nb", "0", w=BIAS_W, **nmos))
+    circuit.add(MOSFET("M5", "tail", "nb", "0", w=2.0 * BIAS_W, **nmos))
+    # first stage: differential pair + mirror load
+    circuit.add(MOSFET("M1", "n1", "inn", "tail", w=w1, **nmos))
+    circuit.add(MOSFET("M2", "no1", "inp", "tail", w=w1, **nmos))
+    circuit.add(MOSFET("M3", "n1", "n1", "vdd", w=w3, **pmos))
+    circuit.add(MOSFET("M4", "no1", "n1", "vdd", w=w3, **pmos))
+    # second stage: common-source M6 with matched sink M7
+    circuit.add(MOSFET("M6", "out", "no1", "vdd", w=w6, **pmos))
+    circuit.add(MOSFET("M7", "out", "nb", "0", w=BIAS_W * w6 / w3, **nmos))
+    circuit.add(Capacitor("Cc", "no1", "out", cc))
+    circuit.add(Capacitor("CL", "out", "0", LOAD_F))
+    return circuit
+
+
+def simulate_opamp(
+    w1: float, w3: float, w6: float, rb: float, cc: float, fidelity: str
+) -> dict:
+    """Simulate one design point and return the four sizing metrics.
+
+    Returns a dict with ``gain_db`` (open-loop DC gain), ``ugf_mhz``
+    (unity-gain frequency), ``pm_deg`` (phase margin) and ``power_mw``
+    (static supply power). Designs whose bias point cannot be
+    established (Newton divergence, or an output stage with no gain
+    path) report :data:`FAILED_METRICS` so the optimizer sees a finite,
+    heavily infeasible evaluation instead of a crash.
+    """
+    circuit = build_opamp_circuit(w1, w3, w6, rb, cc, LAMBDA[fidelity])
+    try:
+        operating_point = solve_dc(circuit)
+        solution = solve_ac(
+            circuit,
+            F_START_HZ,
+            F_STOP_HZ,
+            n_points=SWEEP_POINTS[fidelity],
+            x_op=operating_point.x,
+        )
+    except (ConvergenceError, np.linalg.LinAlgError):
+        return dict(FAILED_METRICS)
+    # The VDD branch current flows out of the positive terminal into the
+    # circuit, i.e. it is logged negative; drawn power is -V * I.
+    power_w = max(-VDD_V * operating_point.current("VDD"), 0.0)
+    gain_db = solution.dc_gain_db("out")
+    ugf_hz = solution.unity_gain_frequency("out")
+    pm_deg = solution.phase_margin("out")
+    if not np.isfinite(ugf_hz):  # gain never reaches 0 dB
+        ugf_hz, pm_deg = 0.0, 0.0
+    return {
+        "gain_db": float(gain_db),
+        "ugf_mhz": float(ugf_hz / 1e6),
+        "pm_deg": float(pm_deg),
+        "power_mw": float(power_w * 1e3),
+    }
+
+
+class OpAmpProblem(Problem):
+    """Two-stage op-amp sizing as a constrained two-fidelity problem.
+
+    ::
+
+        minimize  power
+        s.t.      gain > gain_min_db
+                  UGF  > ugf_min_mhz
+                  PM   > pm_min_deg
+                  power < power_max_mw
+
+    The design variables and their ranges:
+
+    ======  ================================  ===============
+    name    meaning                           range
+    ======  ================================  ===============
+    W1      input-pair width (M1, M2)         2 um - 80 um
+    W3      mirror-load width (M3, M4)        2 um - 40 um
+    W6      second-stage width (M6)           10 um - 400 um
+    Rb      bias resistor (sets the current)  30 k - 600 k
+    Cc      Miller compensation capacitor     0.3 pF - 6 pF
+    ======  ================================  ===============
+
+    Default thresholds are calibrated so the feasible region is a small
+    but reachable subset of the space on this testbench.
+    """
+
+    name = "two-stage-opamp"
+
+    def __init__(
+        self,
+        gain_min_db: float = 60.0,
+        ugf_min_mhz: float = 10.0,
+        pm_min_deg: float = 60.0,
+        power_max_mw: float = 0.25,
+    ):
+        space = DesignSpace(
+            [
+                Variable("W1", 2e-6, 80e-6, unit="m", log_scale=True),
+                Variable("W3", 2e-6, 40e-6, unit="m", log_scale=True),
+                Variable("W6", 10e-6, 400e-6, unit="m", log_scale=True),
+                Variable("Rb", 30e3, 600e3, unit="Ohm", log_scale=True),
+                Variable("Cc", 0.3e-12, 6e-12, unit="F", log_scale=True),
+            ]
+        )
+        super().__init__(
+            space=space,
+            n_constraints=4,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 1.0 / COST_RATIO, FIDELITY_HIGH: 1.0},
+        )
+        self.gain_min_db = float(gain_min_db)
+        self.ugf_min_mhz = float(ugf_min_mhz)
+        self.pm_min_deg = float(pm_min_deg)
+        self.power_max_mw = float(power_max_mw)
+
+    def _evaluate(self, x, fidelity):
+        w1, w3, w6, rb, cc = (float(v) for v in x)
+        metrics = simulate_opamp(w1, w3, w6, rb, cc, fidelity)
+        objective = metrics["power_mw"]  # minimize static power
+        constraints = np.array(
+            [
+                self.gain_min_db - metrics["gain_db"],   # gain > min
+                self.ugf_min_mhz - metrics["ugf_mhz"],   # UGF  > min
+                self.pm_min_deg - metrics["pm_deg"],     # PM   > min
+                metrics["power_mw"] - self.power_max_mw,  # power < max
+            ]
+        )
+        return objective, constraints, metrics

@@ -355,16 +355,18 @@ class MFBOptimizer:
 
             # --- step 3: fidelity selection (l.7, eq. 11/12)
             fidelity = self.selector.select(x_next, low_models)
-            if (
-                self.history.total_cost + self.problem.cost(FIDELITY_HIGH)
-                > self.budget + 1e-9
-                and fidelity == FIDELITY_HIGH
-                and self.history.total_cost + self.problem.cost(FIDELITY_LOW)
-                <= self.budget + 1e-9
-            ):
-                # Not enough budget left for a fine simulation; spend the
-                # remainder on the coarse simulator instead of overshooting.
-                fidelity = FIDELITY_LOW
+            remaining = self.budget - self.history.total_cost
+            if self.problem.cost(fidelity) > remaining + 1e-9:
+                if self.problem.cost(FIDELITY_LOW) <= remaining + 1e-9:
+                    # Not enough budget left for a fine simulation; spend
+                    # the remainder on the coarse simulator instead of
+                    # overshooting.
+                    fidelity = FIDELITY_LOW
+                else:
+                    # Not even a coarse simulation fits: stop here so the
+                    # reported cost respects the equivalent-cost budget
+                    # the tables are keyed on.
+                    break
 
             evaluation = self.problem.evaluate_unit(x_next, fidelity)
             self.history.add(x_next, evaluation, iteration=iteration)
@@ -376,17 +378,28 @@ class MFBOptimizer:
 
     # ------------------------------------------------------------------
     def _dedup(self, x: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
-        """Nudge a candidate that exactly duplicates a previous sample.
+        """Nudge a candidate that (nearly) duplicates a previous sample.
 
         Exact duplicates produce singular GP covariance matrices; a tiny
-        uniform perturbation (clipped to the cube) preserves the
-        acquisition optimum while keeping the kernel matrix invertible.
+        perturbation (clipped to the cube) preserves the acquisition
+        optimum while keeping the kernel matrix invertible. A single
+        nudge is not enough — the draw can land back within tolerance, or
+        clipping at the cube boundary can undo it — so the perturbation
+        escalates decade by decade until the min-distance tolerance
+        actually holds against the whole history.
         """
         if not self.history.records:
             return x
         existing = self.history.x_unit_matrix
-        distances = np.linalg.norm(existing - x[None, :], axis=1)
-        if float(np.min(distances)) > tolerance:
-            return x
-        nudged = x + 1e-6 * self.rng.standard_normal(x.size)
-        return np.clip(nudged, 0.0, 1.0)
+        candidate = x
+        scale = 1e-6
+        while True:
+            distances = np.linalg.norm(existing - candidate[None, :], axis=1)
+            if float(np.min(distances)) > tolerance:
+                return candidate
+            candidate = np.clip(
+                x + scale * self.rng.standard_normal(x.size), 0.0, 1.0
+            )
+            # Escalate so boundary clipping cannot pin the candidate onto
+            # the duplicate forever; at scale ~1 the draw spans the cube.
+            scale = min(10.0 * scale, 1.0)

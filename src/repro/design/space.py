@@ -53,9 +53,22 @@ class Variable:
             )
 
     def to_unit(self, value: np.ndarray) -> np.ndarray:
-        """Map physical values into ``[0, 1]``."""
+        """Map physical values into ``[0, 1]``.
+
+        Raises
+        ------
+        ValueError
+            For non-positive values on a log-scale variable (instead of
+            silently propagating NaN into the optimizer).
+        """
         value = np.asarray(value, dtype=float)
         if self.log_scale:
+            if np.any(value <= 0.0):
+                raise ValueError(
+                    f"log-scale variable {self.name!r} cannot map "
+                    "non-positive values into the unit cube: got "
+                    f"min {np.min(value):g}"
+                )
             lo, hi = np.log10(self.lower), np.log10(self.upper)
             return (np.log10(value) - lo) / (hi - lo)
         return (value - self.lower) / (self.upper - self.lower)

@@ -9,7 +9,7 @@ from .figures import (
 )
 from .runners import AlgorithmSpec, ComparisonResult, compare_algorithms
 from .scale import FULL, SMOKE, Scale, current_scale
-from .tables import tab1_power_amplifier, tab2_charge_pump
+from .tables import tab1_power_amplifier, tab2_charge_pump, tab3_opamp
 
 __all__ = [
     "fig1_posterior",
@@ -18,6 +18,7 @@ __all__ = [
     "fig4_schematic",
     "tab1_power_amplifier",
     "tab2_charge_pump",
+    "tab3_opamp",
     "abl1_fusion",
     "abl2_msp_scatter",
     "abl3_gamma",

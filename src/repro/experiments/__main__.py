@@ -6,7 +6,7 @@ Usage::
     python -m repro.experiments tab1 --full --seed 7
     python -m repro.experiments all
 
-Artifacts: fig1 fig2 fig3 fig4 tab1 tab2 abl1 abl2 abl3 all.
+Artifacts: fig1 fig2 fig3 fig4 tab1 tab2 tab3 abl1 abl2 abl3 all.
 ``--full`` switches to the paper-scale protocol (same as REPRO_FULL=1).
 """
 
@@ -29,9 +29,10 @@ from . import (
     fig4_schematic,
     tab1_power_amplifier,
     tab2_charge_pump,
+    tab3_opamp,
 )
 
-ARTIFACTS = ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2",
+ARTIFACTS = ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2", "tab3",
              "abl1", "abl2", "abl3")
 
 
@@ -76,6 +77,10 @@ def _print_tab2(seed: int) -> None:
     print(tab2_charge_pump(base_seed=seed, verbose=True)["table"])
 
 
+def _print_tab3(seed: int) -> None:
+    print(tab3_opamp(base_seed=seed, verbose=True)["table"])
+
+
 def _print_abl1(seed: int) -> None:
     result = abl1_fusion(seed=seed)
     print("Ablation abl1 — NARGP vs AR1")
@@ -101,6 +106,7 @@ def _print_abl3(seed: int) -> None:
 _RUNNERS = {
     "fig1": _print_fig1, "fig2": _print_fig2, "fig3": _print_fig3,
     "fig4": _print_fig4, "tab1": _print_tab1, "tab2": _print_tab2,
+    "tab3": _print_tab3,
     "abl1": _print_abl1, "abl2": _print_abl2, "abl3": _print_abl3,
 }
 

@@ -74,16 +74,22 @@ class ComparisonResult:
         }
 
     def metric_stats(self, key: str) -> dict:
-        """Statistics of a named metric of the best designs."""
-        values = np.array(
-            [r.metrics[key] for r in self.results if key in r.metrics]
-        )
-        if values.size == 0:
+        """Statistics of a named metric of the best designs.
+
+        Runs whose best design lacks the metric are excluded, and the
+        ``best_run`` cell is taken from the best objective *among the
+        runs that report the metric* so the index stays aligned with the
+        filtered values.
+        """
+        with_metric = [r for r in self.results if key in r.metrics]
+        if not with_metric:
             raise KeyError(key)
+        values = np.array([r.metrics[key] for r in with_metric])
+        objectives = np.array([r.best_objective for r in with_metric])
         return {
             "mean": float(np.mean(values)),
             "median": float(np.median(values)),
-            "best_run": float(values[int(np.argmin(self.objectives))]),
+            "best_run": float(values[int(np.argmin(objectives))]),
         }
 
     def best_run(self) -> BOResult:

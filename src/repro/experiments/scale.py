@@ -50,6 +50,16 @@ class Scale:
     tab2_gaspad_init: int
     tab2_de_budget: int
     tab2_de_pop: int
+    # Table 3 — two-stage op-amp (AC small-signal workload)
+    tab3_repeats: int
+    tab3_ours_budget: float
+    tab3_ours_init: tuple[int, int]
+    tab3_weibo_budget: int
+    tab3_weibo_init: int
+    tab3_gaspad_budget: int
+    tab3_gaspad_init: int
+    tab3_de_budget: int
+    tab3_de_pop: int
     # per-table MSP knobs (the 36-dim charge pump needs a cheaper
     # gradient-polish budget than the 5-dim PA)
     tab2_msp_starts: int
@@ -83,6 +93,15 @@ FULL = Scale(
     tab2_gaspad_init=120,
     tab2_de_budget=10100,
     tab2_de_pop=100,
+    tab3_repeats=10,
+    tab3_ours_budget=60.0,
+    tab3_ours_init=(20, 8),
+    tab3_weibo_budget=60,
+    tab3_weibo_init=20,
+    tab3_gaspad_budget=120,
+    tab3_gaspad_init=40,
+    tab3_de_budget=600,
+    tab3_de_pop=20,
     tab2_msp_starts=200,
     tab2_msp_polish=2,
     msp_starts=200,
@@ -113,6 +132,15 @@ SMOKE = Scale(
     tab2_gaspad_init=40,
     tab2_de_budget=480,
     tab2_de_pop=16,
+    tab3_repeats=2,
+    tab3_ours_budget=12.0,
+    tab3_ours_init=(12, 5),
+    tab3_weibo_budget=12,
+    tab3_weibo_init=8,
+    tab3_gaspad_budget=24,
+    tab3_gaspad_init=10,
+    tab3_de_budget=60,
+    tab3_de_pop=10,
     tab2_msp_starts=60,
     tab2_msp_polish=0,
     msp_starts=60,

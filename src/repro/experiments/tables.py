@@ -1,10 +1,11 @@
-"""Table experiments: the paper's Tables 1 and 2.
+"""Table experiments: the paper's Tables 1 and 2, plus the op-amp table.
 
 ``tab1_power_amplifier`` and ``tab2_charge_pump`` run the full four-way
 comparison (ours / WEIBO / GASPAD / DE) with the paper's protocol at the
 requested :class:`~repro.experiments.scale.Scale` and return both the raw
 :class:`~repro.experiments.runners.ComparisonResult` objects and a
-formatted text table shaped like the paper's.
+formatted text table shaped like the paper's. ``tab3_opamp`` extends the
+same protocol to the frequency-domain two-stage op-amp workload.
 """
 
 from __future__ import annotations
@@ -15,12 +16,13 @@ from ..baselines.de_opt import DEOptimizer
 from ..baselines.gaspad import GASPAD
 from ..baselines.weibo import WEIBO
 from ..circuits.charge_pump import ChargePumpProblem
+from ..circuits.opamp import OpAmpProblem
 from ..circuits.power_amplifier import PowerAmplifierProblem
 from ..core.mfbo import MFBOptimizer
 from .runners import AlgorithmSpec, compare_algorithms, format_table
 from .scale import Scale, current_scale
 
-__all__ = ["tab1_power_amplifier", "tab2_charge_pump"]
+__all__ = ["tab1_power_amplifier", "tab2_charge_pump", "tab3_opamp"]
 
 
 def _specs(
@@ -178,6 +180,53 @@ def tab2_charge_pump(
         ["max_diff1", "max_diff2", "max_diff3", "max_diff4", "deviation",
          "mean", "median", "best", "worst", "Avg.#Sim", "#Success"],
         title=f"Table 2 (charge pump, scale={scale.name})",
+    )
+    return {"comparison": comparison, "rows": rows, "table": table,
+            "scale": scale.name}
+
+
+def tab3_opamp(
+    scale: Scale | None = None,
+    base_seed: int = 2019,
+    verbose: bool = False,
+) -> dict:
+    """Table 3: two-stage op-amp optimization comparison.
+
+    Static power is minimized directly (mW); rows report the best run's
+    gain / UGF / phase margin, power mean / median / best / worst,
+    average equivalent simulations and success count.
+    """
+    scale = scale if scale is not None else current_scale()
+    specs = _specs(
+        scale,
+        scale.tab3_ours_budget, scale.tab3_ours_init,
+        scale.tab3_weibo_budget, scale.tab3_weibo_init,
+        scale.tab3_gaspad_budget, scale.tab3_gaspad_init,
+        scale.tab3_de_budget, scale.tab3_de_pop,
+    )
+    comparison = compare_algorithms(
+        OpAmpProblem, specs, scale.tab3_repeats, base_seed, verbose
+    )
+    rows = {}
+    for name, aggregated in comparison.items():
+        stats = aggregated.objective_stats()
+        best_run = aggregated.best_run()
+        rows[name] = {
+            "Gain/dB": best_run.metrics.get("gain_db", float("nan")),
+            "UGF/MHz": best_run.metrics.get("ugf_mhz", float("nan")),
+            "PM/deg": best_run.metrics.get("pm_deg", float("nan")),
+            "P(mean)/mW": stats["mean"],
+            "P(median)/mW": stats["median"],
+            "P(best)/mW": stats["best"],
+            "P(worst)/mW": stats["worst"],
+            "Avg.#Sim": aggregated.avg_equivalent_sims,
+            "#Success": f"{aggregated.n_success}/{aggregated.n_repeats}",
+        }
+    table = format_table(
+        rows,
+        ["Gain/dB", "UGF/MHz", "PM/deg", "P(mean)/mW", "P(median)/mW",
+         "P(best)/mW", "P(worst)/mW", "Avg.#Sim", "#Success"],
+        title=f"Table 3 (two-stage op-amp, scale={scale.name})",
     )
     return {"comparison": comparison, "rows": rows, "table": table,
             "scale": scale.name}

@@ -1,5 +1,6 @@
 """A small MNA circuit simulator: the paper's "simulation" substrate."""
 
+from .ac import ACSolution, assemble_ac_system, phase_margin, solve_ac, unity_gain_frequency
 from .dc import ConvergenceError, DCSolution, solve_dc
 from .elements import (
     MOSFET,
@@ -38,6 +39,11 @@ __all__ = [
     "solve_dc",
     "DCSolution",
     "ConvergenceError",
+    "solve_ac",
+    "ACSolution",
+    "assemble_ac_system",
+    "unity_gain_frequency",
+    "phase_margin",
     "simulate_transient",
     "TransientResult",
     "Waveform",

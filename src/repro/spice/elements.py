@@ -106,6 +106,27 @@ class Element:
     ) -> None:
         raise NotImplementedError
 
+    def ac_stamp(
+        self,
+        conductance: np.ndarray,
+        susceptance: np.ndarray,
+        rhs: np.ndarray,
+        x_op: np.ndarray,
+        ctx: StampContext,
+    ) -> None:
+        """Stamp the small-signal system linearized at ``x_op``.
+
+        The AC MNA system is ``(G + j omega C) X = B``: elements add their
+        frequency-independent conductances to ``conductance`` (``G``), the
+        omega-proportional part to ``susceptance`` (``C``) and their AC
+        excitation phasor to the complex ``rhs`` (``B``). Nonlinear devices
+        stamp the conductances of their linearization at the DC operating
+        point ``x_op``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support AC small-signal analysis"
+        )
+
     def update_state(self, x: np.ndarray, ctx: StampContext) -> None:
         """Hook called after a transient step is accepted."""
 
@@ -224,6 +245,14 @@ class Resistor(Element):
         self._add_j(jacobian, i2, i1, -g)
         self._add_j(jacobian, i2, i2, g)
 
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        i1, i2 = self.node_indices
+        g = 1.0 / self.resistance
+        self._add_j(conductance, i1, i1, g)
+        self._add_j(conductance, i1, i2, -g)
+        self._add_j(conductance, i2, i1, -g)
+        self._add_j(conductance, i2, i2, g)
+
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.resistance:g}"
 
@@ -273,6 +302,15 @@ class Capacitor(Element):
                 self.capacitance / ctx.dt * (v_now - v_prev)
             )
 
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        # Admittance j omega C: pure susceptance.
+        i1, i2 = self.node_indices
+        c = self.capacitance
+        self._add_j(susceptance, i1, i1, c)
+        self._add_j(susceptance, i1, i2, -c)
+        self._add_j(susceptance, i2, i1, -c)
+        self._add_j(susceptance, i2, i2, c)
+
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.capacitance:g}"
 
@@ -315,6 +353,16 @@ class Inductor(Element):
         self._add_j(jacobian, bi, i2, -1.0)
         jacobian[bi, bi] += -req
 
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        # Branch equation v1 - v2 - j omega L i = 0.
+        i1, i2 = self.node_indices
+        bi = self.branch_index
+        self._add_j(conductance, i1, bi, 1.0)
+        self._add_j(conductance, i2, bi, -1.0)
+        self._add_j(conductance, bi, i1, 1.0)
+        self._add_j(conductance, bi, i2, -1.0)
+        susceptance[bi, bi] -= self.inductance
+
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.inductance:g}"
 
@@ -323,15 +371,27 @@ class Inductor(Element):
 # sources
 # ----------------------------------------------------------------------
 class VoltageSource(Element):
-    """Independent voltage source with optional time waveform."""
+    """Independent voltage source with optional time waveform.
+
+    ``ac`` / ``ac_phase`` set the small-signal excitation phasor used by
+    :func:`repro.spice.solve_ac` (magnitude in volts, phase in degrees);
+    they do not affect DC or transient analysis.
+    """
 
     needs_branch_current = True
 
     def __init__(self, name: str, n_pos: str, n_neg: str, dc: float = 0.0,
-                 waveform=None):
+                 waveform=None, ac: float = 0.0, ac_phase: float = 0.0):
         super().__init__(name, (n_pos, n_neg))
         self.dc = float(dc)
         self.waveform = waveform
+        self.ac = float(ac)
+        self.ac_phase = float(ac_phase)
+
+    @property
+    def ac_value(self) -> complex:
+        """Small-signal excitation phasor."""
+        return self.ac * np.exp(1j * np.deg2rad(self.ac_phase))
 
     def value(self, ctx: StampContext) -> float:
         if ctx.mode == "tran" and self.waveform is not None:
@@ -352,18 +412,38 @@ class VoltageSource(Element):
         self._add_j(jacobian, bi, i1, 1.0)
         self._add_j(jacobian, bi, i2, -1.0)
 
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        i1, i2 = self.node_indices
+        bi = self.branch_index
+        self._add_j(conductance, i1, bi, 1.0)
+        self._add_j(conductance, i2, bi, -1.0)
+        self._add_j(conductance, bi, i1, 1.0)
+        self._add_j(conductance, bi, i2, -1.0)
+        rhs[bi] += self.ac_value
+
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} DC {self.dc:g}"
 
 
 class CurrentSource(Element):
-    """Independent current source (positive current flows n+ -> n-)."""
+    """Independent current source (positive current flows n+ -> n-).
+
+    ``ac`` / ``ac_phase`` set the small-signal excitation phasor used by
+    :func:`repro.spice.solve_ac` (magnitude in amperes, phase in degrees).
+    """
 
     def __init__(self, name: str, n_pos: str, n_neg: str, dc: float = 0.0,
-                 waveform=None):
+                 waveform=None, ac: float = 0.0, ac_phase: float = 0.0):
         super().__init__(name, (n_pos, n_neg))
         self.dc = float(dc)
         self.waveform = waveform
+        self.ac = float(ac)
+        self.ac_phase = float(ac_phase)
+
+    @property
+    def ac_value(self) -> complex:
+        """Small-signal excitation phasor."""
+        return self.ac * np.exp(1j * np.deg2rad(self.ac_phase))
 
     def value(self, ctx: StampContext) -> float:
         if self.waveform is not None:
@@ -376,6 +456,14 @@ class CurrentSource(Element):
         current = self.value(ctx)
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
+
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        # KCL convention: residual accumulates current leaving the node,
+        # so the source phasor enters the rhs with the opposite sign.
+        i1, i2 = self.node_indices
+        value = self.ac_value
+        self._add(rhs, i1, -value)
+        self._add(rhs, i2, value)
 
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} DC {self.dc:g}"
@@ -408,6 +496,16 @@ class VCVS(Element):
         self._add_j(jacobian, bi, c1, -self.gain)
         self._add_j(jacobian, bi, c2, self.gain)
 
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        i1, i2, c1, c2 = self.node_indices
+        bi = self.branch_index
+        self._add_j(conductance, i1, bi, 1.0)
+        self._add_j(conductance, i2, bi, -1.0)
+        self._add_j(conductance, bi, i1, 1.0)
+        self._add_j(conductance, bi, i2, -1.0)
+        self._add_j(conductance, bi, c1, -self.gain)
+        self._add_j(conductance, bi, c2, self.gain)
+
     def card(self):
         return f"{self.name} {' '.join(self.nodes)} {self.gain:g}"
 
@@ -430,6 +528,14 @@ class VCCS(Element):
         self._add_j(jacobian, i1, c2, -gm)
         self._add_j(jacobian, i2, c1, -gm)
         self._add_j(jacobian, i2, c2, gm)
+
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        i1, i2, c1, c2 = self.node_indices
+        gm = self.transconductance
+        self._add_j(conductance, i1, c1, gm)
+        self._add_j(conductance, i1, c2, -gm)
+        self._add_j(conductance, i2, c1, -gm)
+        self._add_j(conductance, i2, c2, gm)
 
     def card(self):
         return f"{self.name} {' '.join(self.nodes)} {self.transconductance:g}"
@@ -470,6 +576,17 @@ class Diode(Element):
         self._add_j(jacobian, i1, i2, -g)
         self._add_j(jacobian, i2, i1, -g)
         self._add_j(jacobian, i2, i2, g)
+
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        # Small-signal junction conductance at the DC operating point.
+        i1, i2 = self.node_indices
+        v = self._v(x_op, i1) - self._v(x_op, i2)
+        _, g = self.current_and_conductance(v)
+        g += ctx.gmin
+        self._add_j(conductance, i1, i1, g)
+        self._add_j(conductance, i1, i2, -g)
+        self._add_j(conductance, i2, i1, -g)
+        self._add_j(conductance, i2, i2, g)
 
     def card(self):
         return (
@@ -588,6 +705,31 @@ class MOSFET(Element):
         self._add_j(jacobian, d_idx, s_idx, -ctx.gmin)
         self._add_j(jacobian, s_idx, d_idx, -ctx.gmin)
         self._add_j(jacobian, s_idx, s_idx, ctx.gmin)
+
+    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+        """Small-signal gm/gds stamps at the DC operating point.
+
+        The conductance pattern matches the DC Jacobian of :meth:`stamp`
+        evaluated at ``x_op`` — that Jacobian *is* the device
+        linearization (the level-1 model carries no charge storage, so
+        the susceptance contribution is zero).
+        """
+        d_idx, g_idx, s_idx = self.node_indices
+        _, gm, gds, swapped = self._evaluate(x_op)
+        if swapped:
+            eff_d, eff_s = s_idx, d_idx
+        else:
+            eff_d, eff_s = d_idx, s_idx
+        self._add_j(conductance, eff_d, g_idx, gm)
+        self._add_j(conductance, eff_d, eff_d, gds)
+        self._add_j(conductance, eff_d, eff_s, -(gm + gds))
+        self._add_j(conductance, eff_s, g_idx, -gm)
+        self._add_j(conductance, eff_s, eff_d, -gds)
+        self._add_j(conductance, eff_s, eff_s, gm + gds)
+        self._add_j(conductance, d_idx, d_idx, ctx.gmin)
+        self._add_j(conductance, d_idx, s_idx, -ctx.gmin)
+        self._add_j(conductance, s_idx, d_idx, -ctx.gmin)
+        self._add_j(conductance, s_idx, s_idx, ctx.gmin)
 
     def card(self):
         return (

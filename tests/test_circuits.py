@@ -7,10 +7,13 @@ from repro.circuits import (
     ChargePumpProblem,
     Corner,
     N_CORNERS,
+    OpAmpProblem,
     PowerAmplifierProblem,
     all_corners,
+    build_opamp_circuit,
     build_pa_circuit,
     charge_pump_currents,
+    simulate_opamp,
     simulate_pa,
     typical_corner,
 )
@@ -222,3 +225,90 @@ class TestChargePumpProblem:
             for _ in range(25)
         ]
         assert sum(flags) <= 2  # needle in a haystack, like the paper
+
+
+class TestOpAmpCircuit:
+    #: A known-good design: W1, W3, W6, Rb, Cc.
+    GOOD = (20e-6, 10e-6, 100e-6, 200e3, 2e-12)
+
+    def test_netlist_structure(self):
+        circuit = build_opamp_circuit(*self.GOOD)
+        names = {e.name for e in circuit.elements}
+        assert {"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8",
+                "Cc", "CL", "Rb", "VDD", "VIP", "VIN"} <= names
+        assert circuit.element("VIP").ac == pytest.approx(1.0)
+
+    def test_offset_free_output_stage_sizing(self):
+        # M7 is sized W8 * W6 / W3 so the second stage carries the
+        # mirrored current without systematic offset.
+        circuit = build_opamp_circuit(*self.GOOD)
+        w6 = circuit.element("M6").w
+        w3 = circuit.element("M3").w
+        w8 = circuit.element("M8").w
+        assert circuit.element("M7").w == pytest.approx(w8 * w6 / w3)
+
+    def test_good_design_metrics(self):
+        metrics = simulate_opamp(*self.GOOD, FIDELITY_HIGH)
+        assert metrics["gain_db"] > 80.0
+        assert metrics["ugf_mhz"] > 5.0
+        assert 0.0 < metrics["pm_deg"] < 120.0
+        assert 0.0 < metrics["power_mw"] < 1.0
+
+    def test_fidelities_correlate_but_differ(self):
+        fine = simulate_opamp(*self.GOOD, FIDELITY_HIGH)
+        coarse = simulate_opamp(*self.GOOD, FIDELITY_LOW)
+        # the simplified coarse device model biases the gain low
+        assert coarse["gain_db"] < fine["gain_db"]
+        assert coarse["gain_db"] == pytest.approx(fine["gain_db"], abs=15.0)
+        assert coarse["ugf_mhz"] == pytest.approx(fine["ugf_mhz"], rel=0.3)
+
+    def test_more_current_more_power(self):
+        w1, w3, w6, _, cc = self.GOOD
+        hungry = simulate_opamp(w1, w3, w6, 50e3, cc, FIDELITY_HIGH)
+        frugal = simulate_opamp(w1, w3, w6, 500e3, cc, FIDELITY_HIGH)
+        assert hungry["power_mw"] > frugal["power_mw"]
+
+    def test_larger_cc_lower_ugf(self):
+        w1, w3, w6, rb, _ = self.GOOD
+        fast = simulate_opamp(w1, w3, w6, rb, 0.5e-12, FIDELITY_HIGH)
+        slow = simulate_opamp(w1, w3, w6, rb, 5e-12, FIDELITY_HIGH)
+        assert slow["ugf_mhz"] < fast["ugf_mhz"]
+
+
+class TestOpAmpProblem:
+    def test_dimensions_and_costs(self):
+        problem = OpAmpProblem()
+        assert problem.dim == 5
+        assert problem.n_constraints == 4
+        assert problem.cost(FIDELITY_LOW) == pytest.approx(1.0 / 6.0)
+        assert problem.cost(FIDELITY_HIGH) == pytest.approx(1.0)
+
+    def test_constraint_wiring(self):
+        problem = OpAmpProblem()
+        evaluation = problem.evaluate_unit(np.full(5, 0.5), FIDELITY_HIGH)
+        metrics = evaluation.metrics
+        expected = np.array([
+            problem.gain_min_db - metrics["gain_db"],
+            problem.ugf_min_mhz - metrics["ugf_mhz"],
+            problem.pm_min_deg - metrics["pm_deg"],
+            metrics["power_mw"] - problem.power_max_mw,
+        ])
+        np.testing.assert_allclose(evaluation.constraints, expected)
+        assert evaluation.objective == pytest.approx(metrics["power_mw"])
+
+    def test_feasible_region_is_reachable_but_small(self):
+        problem = OpAmpProblem()
+        rng = np.random.default_rng(0)
+        flags = [
+            problem.evaluate_unit(rng.random(5), FIDELITY_HIGH).feasible
+            for _ in range(60)
+        ]
+        assert 0 < sum(flags) <= 15
+
+    def test_evaluation_is_deterministic(self):
+        problem = OpAmpProblem()
+        u = np.full(5, 0.4)
+        a = problem.evaluate_unit(u, FIDELITY_LOW)
+        b = problem.evaluate_unit(u, FIDELITY_LOW)
+        assert a.objective == b.objective
+        np.testing.assert_array_equal(a.constraints, b.constraints)

@@ -161,3 +161,29 @@ class TestSampling:
             gaussian_ball(np.array([0.5]), 5, -1.0)
         with pytest.raises(ValueError):
             maximin_latin_hypercube(5, 2, n_candidates=0)
+
+
+class TestLogScaleDomainErrors:
+    """Regression: log-scale to_unit must reject non-positive values."""
+
+    def test_negative_value_raises_with_variable_name(self):
+        v = Variable("Cs", 1e-12, 1e-9, log_scale=True)
+        with pytest.raises(ValueError, match="Cs"):
+            v.to_unit(-1e-12)
+
+    def test_zero_value_raises(self):
+        v = Variable("W", 1e-6, 1e-4, log_scale=True)
+        with pytest.raises(ValueError, match="W"):
+            v.to_unit(np.array([1e-5, 0.0]))
+
+    def test_space_propagates_the_error(self):
+        space = DesignSpace([
+            Variable("Vb", 1.0, 2.0),
+            Variable("W", 1e-6, 1e-4, log_scale=True),
+        ])
+        with pytest.raises(ValueError, match="W"):
+            space.to_unit(np.array([1.5, -3e-5]))
+
+    def test_positive_values_still_map(self):
+        v = Variable("W", 1e-6, 1e-4, log_scale=True)
+        assert v.to_unit(1e-5) == pytest.approx(0.5)

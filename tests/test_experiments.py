@@ -133,3 +133,50 @@ class TestRunners:
         lines = table.splitlines()
         assert lines[0] == "T"
         assert "Ours" in table and "10.00" in table
+
+
+class TestMetricStats:
+    """Regression: metric_stats must index into the *filtered* runs."""
+
+    @staticmethod
+    def _result(objective, metrics):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            best_objective=objective, metrics=metrics, feasible=True
+        )
+
+    def test_best_run_aligned_with_filtered_subset(self):
+        from repro.experiments import ComparisonResult
+
+        aggregated = ComparisonResult(name="x")
+        aggregated.results = [
+            self._result(5.0, {"m": 10.0}),
+            self._result(1.0, {}),          # best objective, no metric
+            self._result(9.0, {"m": 30.0}),
+        ]
+        stats = aggregated.metric_stats("m")
+        # among the runs that report "m", the 5.0-objective run wins
+        assert stats["best_run"] == pytest.approx(10.0)
+        assert stats["mean"] == pytest.approx(20.0)
+
+    def test_no_index_error_when_only_late_runs_have_metric(self):
+        from repro.experiments import ComparisonResult
+
+        aggregated = ComparisonResult(name="x")
+        aggregated.results = [
+            self._result(3.0, {}),
+            self._result(1.0, {}),          # argmin over all objectives
+            self._result(2.0, {"m": 7.0}),
+        ]
+        # before the fix this raised IndexError (argmin over all three
+        # objectives used to index the single filtered value)
+        assert aggregated.metric_stats("m")["best_run"] == pytest.approx(7.0)
+
+    def test_missing_metric_still_raises_keyerror(self):
+        from repro.experiments import ComparisonResult
+
+        aggregated = ComparisonResult(name="x")
+        aggregated.results = [self._result(1.0, {})]
+        with pytest.raises(KeyError):
+            aggregated.metric_stats("absent")

@@ -143,3 +143,70 @@ class TestConfiguration:
         assert not np.array_equal(nudged, existing)
         fresh = np.array([0.123456789])
         np.testing.assert_array_equal(optimizer._dedup(fresh), fresh)
+
+
+class TestBudgetGuard:
+    """Regression: the loop must stop when not even a coarse run fits."""
+
+    def test_no_overshoot_when_remainder_below_low_cost(self):
+        # Forrester: cost(low) = 0.1, cost(high) = 1.0. The initial
+        # design costs 4 * 0.1 + 2 * 1.0 = 2.4, leaving 0.05 — less than
+        # one coarse simulation. Before the fix the loop evaluated
+        # anyway and overshot the equivalent-cost budget.
+        budget = 2.45
+        result = MFBOptimizer(
+            ForresterProblem(), budget=budget, n_init_low=4, n_init_high=2,
+            seed=0, **FAST,
+        ).run()
+        assert result.equivalent_cost <= budget + 1e-9
+        assert result.equivalent_cost == pytest.approx(2.4)
+
+    def test_cost_never_exceeds_budget(self):
+        for seed in range(3):
+            budget = 3.15
+            result = MFBOptimizer(
+                ForresterProblem(), budget=budget, n_init_low=4,
+                n_init_high=2, seed=seed, **FAST,
+            ).run()
+            assert result.equivalent_cost <= budget + 1e-9
+
+
+class TestDedupTolerance:
+    """Regression: _dedup must re-check the nudged point."""
+
+    def _optimizer_with_history_at(self, points, seed):
+        optimizer = MFBOptimizer(
+            ForresterProblem(), budget=5.0, n_init_low=4, n_init_high=2,
+            seed=seed, **FAST,
+        )
+        for point in points:
+            optimizer.history.add(
+                np.atleast_1d(np.asarray(point, dtype=float)),
+                optimizer.problem.evaluate_unit(
+                    np.atleast_1d(np.asarray(point, dtype=float)),
+                    FIDELITY_LOW,
+                ),
+            )
+        return optimizer
+
+    def test_boundary_clip_cannot_return_duplicate(self):
+        # seed 0's first standard normal draw is positive, so a single
+        # 1e-6 nudge of a corner point clips straight back onto the
+        # duplicate — the pre-fix behavior.
+        optimizer = self._optimizer_with_history_at([[1.0]], seed=0)
+        assert float(np.random.default_rng(0).standard_normal(1)[0]) > 0
+        deduped = optimizer._dedup(np.array([1.0]))
+        distances = np.abs(optimizer.history.x_unit_matrix[:, 0] - deduped[0])
+        assert float(np.min(distances)) > 1e-9
+        assert 0.0 <= deduped[0] <= 1.0
+
+    def test_result_clears_whole_history(self):
+        # the nudged point must respect the tolerance against *every*
+        # previous sample, not just the one it collided with
+        points = [[0.5], [0.5 + 2e-7], [0.5 - 2e-7]]
+        optimizer = self._optimizer_with_history_at(points, seed=1)
+        deduped = optimizer._dedup(np.array([0.5]), tolerance=1e-6)
+        distances = np.abs(
+            optimizer.history.x_unit_matrix[:, 0] - deduped[0]
+        )
+        assert float(np.min(distances)) > 1e-6

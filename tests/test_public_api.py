@@ -23,15 +23,27 @@ class TestTopLevelExports:
 
 class TestSubpackageImports:
     def test_spice_package(self):
-        from repro.spice import Circuit, simulate_transient, solve_dc
+        from repro.spice import (
+            ACSolution,
+            Circuit,
+            simulate_transient,
+            solve_ac,
+            solve_dc,
+        )
 
         assert Circuit is not None
+        assert solve_ac is not None and ACSolution is not None
 
     def test_circuits_package(self):
-        from repro.circuits import ChargePumpProblem, PowerAmplifierProblem
+        from repro.circuits import (
+            ChargePumpProblem,
+            OpAmpProblem,
+            PowerAmplifierProblem,
+        )
 
         assert ChargePumpProblem().dim == 36
         assert PowerAmplifierProblem().dim == 5
+        assert OpAmpProblem().dim == 5
 
     def test_experiments_package(self):
         from repro.experiments import current_scale
