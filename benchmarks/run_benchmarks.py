@@ -7,7 +7,7 @@ posterior prediction, NARGP Monte-Carlo fused prediction and the MNA
 transient solver. This driver wraps ``pytest-benchmark`` so each PR can
 record its perf trajectory next to the previous ones::
 
-    python benchmarks/run_benchmarks.py                 # substrate suite
+    python benchmarks/run_benchmarks.py                 # substrate + session suites
     python benchmarks/run_benchmarks.py --all           # every benchmark
     python benchmarks/run_benchmarks.py --smoke         # CI breakage check
     python benchmarks/run_benchmarks.py --out custom.json
@@ -32,18 +32,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SUBSTRATE_SUITE = "benchmarks/test_substrate_perf.py"
+SESSION_SUITE = "benchmarks/test_session_overhead.py"
 
 
 def default_output_name() -> str:
     return f"BENCH_{datetime.date.today().isoformat()}.json"
 
 
-def run_suite(target: str, out_path: Path | None) -> int:
+def run_suite(targets: list[str], out_path: Path | None) -> int:
     command = [
         sys.executable,
         "-m",
         "pytest",
-        target,
+        *targets,
         "-q",
     ]
     if out_path is None:  # smoke mode: run each body once, no timing
@@ -102,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
         "--all",
         action="store_true",
         help="run the full benchmarks/ directory instead of the substrate "
-        "perf suite",
+        "perf and session-overhead suites",
     )
     parser.add_argument(
         "--smoke",
@@ -124,9 +125,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke and args.out:
         parser.error("--smoke writes no JSON; drop --out or --smoke")
-    target = "benchmarks" if args.all else SUBSTRATE_SUITE
+    # The default targets (and the CI --smoke breakage check) cover the
+    # session_overhead suite too: the ask/tell layer must keep producing
+    # the legacy trajectories.
+    targets = ["benchmarks"] if args.all else [SUBSTRATE_SUITE, SESSION_SUITE]
     if args.smoke:
-        return run_suite(target, None)
+        return run_suite(targets, None)
 
     # Resolve against the caller's cwd: pytest below runs with
     # cwd=REPO_ROOT, which would silently relocate a relative --out.
@@ -135,7 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.out
         else REPO_ROOT / default_output_name()
     )
-    status = run_suite(target, out_path)
+    status = run_suite(targets, out_path)
     if status == 0:
         print(f"wrote {out_path}")
     return status

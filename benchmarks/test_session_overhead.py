@@ -1,0 +1,77 @@
+"""session_overhead — ask/tell session layer vs. the legacy run() loop.
+
+The session API inverts control (suggest → external evaluation →
+observe) and adds queueing, dispatch and bookkeeping around every
+evaluation. This micro-benchmark times the paper's optimizer on the
+charge-pump testbench three ways at identical settings and seed:
+
+* ``legacy_run`` — the blocking ``MFBOptimizer.run()`` wrapper;
+* ``session_run`` — an explicit ``OptimizationSession`` with the serial
+  evaluator (what ``run()`` delegates to);
+* ``ask_tell_manual`` — hand-driven suggest/observe, the pattern an
+  external simulator farm would use.
+
+All three produce bit-identical trajectories, so any timing gap *is*
+the session overhead — it should be noise next to the GP fits and MNA
+transient solves that dominate an iteration.
+"""
+
+import pytest
+
+from repro.circuits import ChargePumpProblem
+from repro.core import MFBOptimizer
+from repro.session import OptimizationSession
+
+SETTINGS = dict(
+    budget=4.2,
+    n_init_low=10,
+    n_init_high=3,
+    msp_starts=20,
+    msp_polish=0,
+    n_restarts=1,
+    n_mc_samples=6,
+    gp_max_opt_iter=20,
+    seed=0,
+)
+
+
+def _make():
+    return MFBOptimizer(ChargePumpProblem(), **SETTINGS)
+
+
+@pytest.mark.benchmark(group="session_overhead")
+def test_legacy_run(once):
+    result = once(lambda: _make().run())
+    assert result.history.n_evaluations() >= 13
+
+
+@pytest.mark.benchmark(group="session_overhead")
+def test_session_run(once):
+    result = once(lambda: OptimizationSession(_make()).run())
+    assert result.history.n_evaluations() >= 13
+
+
+@pytest.mark.benchmark(group="session_overhead")
+def test_ask_tell_manual(once):
+    def drive():
+        optimizer = _make()
+        problem = optimizer.problem
+        while not optimizer.is_done:
+            batch = optimizer.suggest()
+            if not batch:
+                break
+            for x_unit, fidelity in batch:
+                optimizer.observe(
+                    x_unit, fidelity, problem.evaluate_unit(x_unit, fidelity)
+                )
+        return optimizer.result()
+
+    result = once(drive)
+    assert result.history.n_evaluations() >= 13
+
+
+def test_trajectories_identical():
+    """The three drivers are the same algorithm, bit for bit."""
+    legacy = _make().run()
+    session = OptimizationSession(_make()).run()
+    assert legacy == session

@@ -6,6 +6,24 @@ multi-fidelity BO (Algorithm 1) and compares against single-fidelity BO
 (WEIBO) at the same equivalent-simulation budget.
 
 Run:  python examples/quickstart.py
+
+Migrating from the legacy ``run()`` API to sessions
+---------------------------------------------------
+``MFBOptimizer.run()`` still works and is what this example uses — it is
+now a thin wrapper over the ask/tell session API, producing bit-for-bit
+the same trajectory. The mapping is:
+
+===============================================  ==========================
+legacy                                           session equivalent
+===============================================  ==========================
+``MFBOptimizer(problem, ...).run()``             ``OptimizationSession(MFBOptimizer(problem, ...)).run()``
+``optimizer.history`` during ``callback``        ``session.history`` (same object)
+blocking loop, serial simulations                ``session.run(batch_size=k)`` with a ``ProcessPoolEvaluator``
+no pause/resume                                  ``session.save(path)`` / ``OptimizationSession.resume(path, problem)``
+===============================================  ==========================
+
+See ``examples/ask_tell.py`` for driving the suggest/observe loop
+yourself (external simulators, parallel batches, checkpointing).
 """
 
 import numpy as np

@@ -5,9 +5,15 @@ Optimization Approach for Analog Circuit Synthesis", DAC 2019.
 
 Public API highlights
 ---------------------
-- :class:`repro.core.MFBOptimizer` — the paper's Algorithm 1.
+- :class:`repro.core.MFBOptimizer` — the paper's Algorithm 1, as an
+  ask/tell strategy.
+- :class:`repro.session.OptimizationSession` — drives any strategy with
+  an injectable evaluator (serial or process-pool), with JSON
+  checkpoint/resume.
 - :class:`repro.baselines.WEIBO` / :class:`repro.baselines.GASPAD` /
-  :class:`repro.baselines.DEOptimizer` — the compared methods.
+  :class:`repro.baselines.DEOptimizer` /
+  :class:`repro.baselines.RandomSearchOptimizer` — the compared methods,
+  on the same Strategy protocol.
 - :class:`repro.mf.NARGP` — nonlinear two-fidelity GP fusion (§3).
 - :class:`repro.gp.GPR` — exact GP regression substrate (§2.3).
 - :mod:`repro.circuits` — power-amplifier, charge-pump and two-stage
@@ -22,7 +28,7 @@ from .acquisition import (
     ViolationAcquisition,
     WeightedEI,
 )
-from .baselines import GASPAD, WEIBO, DEOptimizer
+from .baselines import GASPAD, WEIBO, DEOptimizer, RandomSearchOptimizer
 from .core import BOResult, FidelitySelector, History, MFBOptimizer
 from .design import DesignSpace, Variable
 from .gp import GPR
@@ -34,17 +40,32 @@ from .problems import (
     Evaluation,
     Problem,
 )
+from .session import (
+    Evaluator,
+    OptimizationSession,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    Strategy,
+    Suggestion,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "MFBOptimizer",
     "BOResult",
     "FidelitySelector",
     "History",
+    "OptimizationSession",
+    "Strategy",
+    "Suggestion",
+    "Evaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
     "WEIBO",
     "GASPAD",
     "DEOptimizer",
+    "RandomSearchOptimizer",
     "NARGP",
     "AR1",
     "GPR",

@@ -1,7 +1,14 @@
-"""Baseline optimizers the paper compares against (§5)."""
+"""Baseline optimizers the paper compares against (§5).
+
+All baselines implement the ask/tell :class:`repro.session.Strategy`
+protocol and can be driven by an
+:class:`repro.session.OptimizationSession` (their ``run()`` methods are
+thin wrappers over one).
+"""
 
 from .de_opt import DEOptimizer
 from .gaspad import GASPAD
+from .random_opt import RandomSearchOptimizer
 from .weibo import WEIBO
 
-__all__ = ["WEIBO", "GASPAD", "DEOptimizer"]
+__all__ = ["WEIBO", "GASPAD", "DEOptimizer", "RandomSearchOptimizer"]

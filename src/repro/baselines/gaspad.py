@@ -9,6 +9,10 @@ a true (expensive) simulation.
 Constraint handling follows the feasibility-rule style the original uses:
 candidates are ranked by Deb's tournament on the LCB of the objective and
 the predicted total constraint violation.
+
+Implements the ask/tell :class:`repro.session.Strategy` protocol;
+``suggest(k > 1)`` hands out the ``k`` best-ranked *distinct* candidates
+of one prescreened generation.
 """
 
 from __future__ import annotations
@@ -19,16 +23,17 @@ import numpy as np
 
 from ..acquisition.functions import lower_confidence_bound
 from ..core.history import History
-from ..core.result import BOResult
+from ..core.strategy import StrategyBase
 from ..design.sampling import maximin_latin_hypercube
 from ..gp.gpr import GPR
 from ..optim.de import DifferentialEvolution, deb_fitness
 from ..problems.base import Problem
+from ..session.protocol import Suggestion
 
 __all__ = ["GASPAD"]
 
 
-class GASPAD:
+class GASPAD(StrategyBase):
     """GP + DE surrogate-assisted evolutionary algorithm.
 
     Parameters
@@ -51,6 +56,8 @@ class GASPAD:
     """
 
     algorithm_name = "GASPAD"
+    strategy_id = "gaspad"
+    rng_stream_names = ("init", "gp", "de")
 
     def __init__(
         self,
@@ -72,7 +79,6 @@ class GASPAD:
             raise ValueError("pop_size must be >= 4 for DE operators")
         if n_candidates_per_parent < 1:
             raise ValueError("n_candidates_per_parent must be >= 1")
-        self.problem = problem
         self.budget = int(budget)
         self.n_init = int(n_init)
         self.pop_size = int(pop_size)
@@ -80,9 +86,7 @@ class GASPAD:
         self.beta = float(beta)
         self.n_restarts = int(n_restarts)
         self.gp_max_opt_iter = int(gp_max_opt_iter)
-        self.callback = callback
-        self.rng = rng if rng is not None else np.random.default_rng(seed)
-        self.history = History()
+        self._setup_base(problem, seed, rng, callback)
         self._fidelity = problem.highest_fidelity
 
     # ------------------------------------------------------------------
@@ -103,11 +107,15 @@ class GASPAD:
         engine = DifferentialEvolution(
             dim=self.problem.dim,
             pop_size=max(4, population.shape[0]),
-            rng=self.rng,
+            rng=self._rng_streams["de"],
         )
         pop = population
         if pop.shape[0] < 4:  # pad tiny populations by resampling
-            extra = pop[self.rng.integers(pop.shape[0], size=4 - pop.shape[0])]
+            extra = pop[
+                self._rng_streams["de"].integers(
+                    pop.shape[0], size=4 - pop.shape[0]
+                )
+            ]
             pop = np.vstack([pop, extra])
         engine.initialize(pop)
         engine.tell(np.zeros(pop.shape[0]), initial=True)
@@ -116,16 +124,17 @@ class GASPAD:
 
     def _prescreen(self, candidates: np.ndarray) -> np.ndarray:
         """Rank candidates by surrogate LCB + predicted violation."""
+        rng = self._rng_streams["gp"]
         x, y, constraints = self.history.data(self._fidelity)
         objective_gp = GPR(max_opt_iter=self.gp_max_opt_iter).fit(
-            x, y, n_restarts=self.n_restarts, rng=self.rng
+            x, y, n_restarts=self.n_restarts, rng=rng
         )
         mu, var = objective_gp.predict(candidates)
         lcb = lower_confidence_bound(mu, var, self.beta)
         violation = np.zeros(candidates.shape[0])
         for i in range(constraints.shape[1]):
             constraint_gp = GPR(max_opt_iter=self.gp_max_opt_iter).fit(
-                x, constraints[:, i], n_restarts=self.n_restarts, rng=self.rng
+                x, constraints[:, i], n_restarts=self.n_restarts, rng=rng
             )
             mu_c, var_c = constraint_gp.predict(candidates)
             violation += np.maximum(
@@ -134,23 +143,51 @@ class GASPAD:
         return deb_fitness(lcb, violation)
 
     # ------------------------------------------------------------------
-    def run(self) -> BOResult:
-        """Run the surrogate-assisted EA until the budget is exhausted."""
-        for u in maximin_latin_hypercube(self.n_init, self.problem.dim, self.rng):
-            self.history.add(
-                u, self.problem.evaluate_unit(u, self._fidelity), iteration=0
-            )
-        iteration = 0
-        while self.history.n_evaluations(self._fidelity) < self.budget:
-            iteration += 1
-            population = self._population()
-            candidates = self._generate_candidates(population)
-            ranking = self._prescreen(candidates)
-            best = candidates[int(np.argmin(ranking))]
-            evaluation = self.problem.evaluate_unit(best, self._fidelity)
-            self.history.add(best, evaluation, iteration=iteration)
-            if self.callback is not None:
-                self.callback(iteration, self.history)
-        return BOResult.from_history(
-            self.problem, self.history, self.algorithm_name
+    # ask/tell hooks
+    # ------------------------------------------------------------------
+    def _initial_suggestions(self) -> list[Suggestion]:
+        design = maximin_latin_hypercube(
+            self.n_init, self.problem.dim, self._rng_streams["init"]
         )
+        return [Suggestion(u, self._fidelity) for u in design]
+
+    def _refill(self, k: int) -> None:
+        remaining = self.budget - self.history.n_evaluations(self._fidelity)
+        m = min(k, remaining)
+        if m <= 0:
+            return
+        self._iteration += 1
+        population = self._population()
+        candidates = self._generate_candidates(population)
+        ranking = self._prescreen(candidates)
+        order = np.argsort(ranking, kind="stable")
+        picked: list[np.ndarray] = []
+        for idx in order:
+            candidate = candidates[int(idx)]
+            if picked and float(
+                np.min(
+                    np.linalg.norm(
+                        np.vstack(picked) - candidate[None, :], axis=1
+                    )
+                )
+            ) <= 1e-12:
+                continue  # surrogate ties can duplicate trial vectors
+            picked.append(candidate)
+            self._queue.append(Suggestion(candidate, self._fidelity))
+            if len(picked) >= m:
+                break
+
+    def _done(self) -> bool:
+        return self.history.n_evaluations(self._fidelity) >= self.budget
+
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "n_init": self.n_init,
+            "pop_size": self.pop_size,
+            "n_candidates_per_parent": self.n_candidates_per_parent,
+            "beta": self.beta,
+            "n_restarts": self.n_restarts,
+            "gp_max_opt_iter": self.gp_max_opt_iter,
+        }

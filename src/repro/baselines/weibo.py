@@ -4,6 +4,12 @@ The state-of-the-art baseline the paper compares against (Lyu et al.,
 TCAS-I 2018, ref. [17]): a plain GP surrogate per output, the weighted
 Expected Improvement acquisition (eq. 6), and a multiple-starting-point
 acquisition search. All simulations run at the highest fidelity.
+
+Implements the ask/tell :class:`repro.session.Strategy` protocol:
+``suggest``/``observe`` drive the loop, ``run()`` is the legacy blocking
+wrapper. ``suggest(k > 1)`` produces distinct batch candidates via
+kriging-believer fantasization (each picked point is added to the
+surrogates with its posterior-mean outcome before the next search).
 """
 
 from __future__ import annotations
@@ -14,16 +20,17 @@ import numpy as np
 
 from ..acquisition.functions import ViolationAcquisition, WeightedEI
 from ..core.history import History
-from ..core.result import BOResult
+from ..core.strategy import StrategyBase
 from ..design.sampling import maximin_latin_hypercube
 from ..gp.gpr import GPR
 from ..optim.msp import MSPOptimizer
 from ..problems.base import Problem
+from ..session.protocol import Suggestion
 
 __all__ = ["WEIBO"]
 
 
-class WEIBO:
+class WEIBO(StrategyBase):
     """Single-fidelity constrained BO baseline.
 
     Parameters
@@ -41,6 +48,8 @@ class WEIBO:
     """
 
     algorithm_name = "WEIBO"
+    strategy_id = "weibo"
+    rng_stream_names = ("init", "gp", "acq", "dedup")
 
     def __init__(
         self,
@@ -60,13 +69,14 @@ class WEIBO:
             raise ValueError("budget must cover the initial design")
         if n_init < 1:
             raise ValueError("n_init must be >= 1")
-        self.problem = problem
         self.budget = int(budget)
         self.n_init = int(n_init)
         self.n_restarts = int(n_restarts)
         self.gp_max_opt_iter = int(gp_max_opt_iter)
-        self.callback = callback
-        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.msp_starts = int(msp_starts)
+        self.msp_polish = int(msp_polish)
+        self.ball_stddev = float(ball_stddev)
+        self._setup_base(problem, seed, rng, callback)
         self.acq_optimizer = MSPOptimizer(
             dim=problem.dim,
             n_starts=msp_starts,
@@ -74,9 +84,8 @@ class WEIBO:
             frac_around_low=0.0,
             frac_around_high=0.40,
             ball_stddev=ball_stddev,
-            rng=self.rng,
+            rng=self._rng_streams["acq"],
         )
-        self.history = History()
         self._fidelity = problem.highest_fidelity
 
     # ------------------------------------------------------------------
@@ -85,7 +94,7 @@ class WEIBO:
         targets = [y] + [constraints[:, i] for i in range(constraints.shape[1])]
         return [
             GPR(max_opt_iter=self.gp_max_opt_iter).fit(
-                x, t, n_restarts=self.n_restarts, rng=self.rng
+                x, t, n_restarts=self.n_restarts, rng=self._rng_streams["gp"]
             )
             for t in targets
         ]
@@ -99,35 +108,52 @@ class WEIBO:
         return ViolationAcquisition(predictors[1:])
 
     # ------------------------------------------------------------------
-    def run(self) -> BOResult:
-        """Run the BO loop until the simulation budget is exhausted."""
-        for u in maximin_latin_hypercube(self.n_init, self.problem.dim, self.rng):
-            self.history.add(
-                u, self.problem.evaluate_unit(u, self._fidelity), iteration=0
-            )
-        iteration = 0
-        while self.history.n_evaluations(self._fidelity) < self.budget:
-            iteration += 1
-            models = self._fit_models()
+    # ask/tell hooks
+    # ------------------------------------------------------------------
+    def _initial_suggestions(self) -> list[Suggestion]:
+        design = maximin_latin_hypercube(
+            self.n_init, self.problem.dim, self._rng_streams["init"]
+        )
+        return [Suggestion(u, self._fidelity) for u in design]
+
+    def _refill(self, k: int) -> None:
+        remaining = self.budget - self.history.n_evaluations(self._fidelity)
+        m = min(k, remaining)
+        if m <= 0:
+            return
+        self._iteration += 1
+        models = self._fit_models()
+        avoid: list[np.ndarray] = []
+        for j in range(m):
             acquisition = self._build_acquisition(models)
             incumbent = self.history.incumbent(self._fidelity)
             result = self.acq_optimizer.maximize(
                 acquisition,
                 incumbent_high=None if incumbent is None else incumbent.x_unit,
             )
-            x_next = self._dedup(result.x)
-            evaluation = self.problem.evaluate_unit(x_next, self._fidelity)
-            self.history.add(x_next, evaluation, iteration=iteration)
-            if self.callback is not None:
-                self.callback(iteration, self.history)
-        return BOResult.from_history(
-            self.problem, self.history, self.algorithm_name
-        )
+            x_next = self._dedup(result.x, avoid=avoid)
+            self._queue.append(Suggestion(x_next, self._fidelity))
+            avoid.append(x_next)
+            if j < m - 1:
+                # Kriging believer: pretend the posterior mean was
+                # observed so the next batch member explores elsewhere.
+                # The polluted surrogates are local to this refill; the
+                # next one refits from real data.
+                x2 = x_next[None, :]
+                for gp in models:
+                    gp.add_points(x2, gp.predict_mean(x2))
 
-    def _dedup(self, x: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
-        existing = np.vstack([r.x_unit for r in self.history.records])
-        if float(np.min(np.linalg.norm(existing - x[None, :], axis=1))) > tolerance:
-            return x
-        return np.clip(
-            x + 1e-6 * self.rng.standard_normal(x.size), 0.0, 1.0
-        )
+    def _done(self) -> bool:
+        return self.history.n_evaluations(self._fidelity) >= self.budget
+
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "n_init": self.n_init,
+            "n_restarts": self.n_restarts,
+            "gp_max_opt_iter": self.gp_max_opt_iter,
+            "msp_starts": self.msp_starts,
+            "msp_polish": self.msp_polish,
+            "ball_stddev": self.ball_stddev,
+        }

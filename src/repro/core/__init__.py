@@ -4,6 +4,7 @@ from .fidelity import FidelitySelector
 from .history import History, Record
 from .mfbo import MFBOptimizer
 from .result import BOResult
+from .strategy import StrategyBase
 
 __all__ = [
     "MFBOptimizer",
@@ -11,4 +12,5 @@ __all__ = [
     "History",
     "Record",
     "BOResult",
+    "StrategyBase",
 ]

@@ -37,6 +37,22 @@ class Record:
     def feasible(self) -> bool:
         return self.evaluation.feasible
 
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (see :meth:`Evaluation.to_dict`)."""
+        return {
+            "x_unit": [float(v) for v in self.x_unit],
+            "evaluation": self.evaluation.to_dict(),
+            "iteration": int(self.iteration),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Record":
+        return cls(
+            x_unit=np.asarray(payload["x_unit"], dtype=float),
+            evaluation=Evaluation.from_dict(payload["evaluation"]),
+            iteration=int(payload["iteration"]),
+        )
+
 
 class History:
     """Ordered log of all evaluations of one optimization run."""
@@ -152,6 +168,22 @@ class History:
         """Best feasible record, else the least-violating one."""
         best = self.best_feasible(fidelity)
         return best if best is not None else self.best_by_violation(fidelity)
+
+    # ------------------------------------------------------------------
+    # serialization (checkpoint format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable payload that round-trips via :meth:`from_dict`."""
+        return {"records": [record.to_dict() for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "History":
+        """Rebuild a history (including the cached design matrix)."""
+        history = cls()
+        for entry in payload["records"]:
+            record = Record.from_dict(entry)
+            history.add(record.x_unit, record.evaluation, record.iteration)
+        return history
 
     def objective_trace(self, fidelity: str) -> np.ndarray:
         """Running best feasible objective vs cumulative cost.

@@ -18,10 +18,22 @@ Per iteration:
 If no feasible point is known at a fidelity level, the corresponding
 acquisition switches to the first-feasible-point search of §4.2
 (minimizing predicted total constraint violation, eq. 13).
+
+The optimizer is an **ask/tell strategy** (:mod:`repro.session`): steps
+1-5 live in :meth:`MFBOptimizer.suggest`, step 6 is the caller's —
+:meth:`MFBOptimizer.observe` feeds the result back. :meth:`run` is the
+legacy blocking loop, now a thin driver over an
+:class:`repro.session.OptimizationSession` with a serial evaluator.
+``suggest(k)`` with ``k > 1`` produces a *batch* of distinct candidates
+via constant-liar fantasization: each picked candidate is temporarily
+added to copies of the models with its posterior-mean ("kriging
+believer") outcome before the next one is searched, so a parallel
+evaluator can simulate the whole batch at once.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Sequence
 
 import numpy as np
@@ -33,14 +45,15 @@ from ..mf.ar1 import AR1
 from ..mf.nargp import NARGP
 from ..optim.msp import MSPOptimizer
 from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+from ..session.protocol import Suggestion
 from .fidelity import FidelitySelector
 from .history import History
-from .result import BOResult
+from .strategy import StrategyBase
 
 __all__ = ["MFBOptimizer"]
 
 
-class MFBOptimizer:
+class MFBOptimizer(StrategyBase):
     """Multi-fidelity constrained Bayesian optimizer (the paper's method).
 
     Parameters
@@ -82,6 +95,13 @@ class MFBOptimizer:
         re-cached without any L-BFGS-B work.
     max_iterations:
         Hard iteration cap, a safety net on top of the cost budget.
+    seed, rng:
+        Seed (or ready generator) for the *root* RNG. The root is split
+        with ``Generator.spawn`` into independent per-component streams
+        — initial sampling, GP restarts, Monte-Carlo fusion draws,
+        acquisition scatter, duplicate nudges — so components never race
+        each other for draws and checkpoint/resume and batched
+        evaluation stay bit-reproducible.
     callback:
         Optional ``callback(iteration, history)`` invoked after every
         evaluation.
@@ -96,9 +116,27 @@ class MFBOptimizer:
     ... ).run()
     >>> result.feasible
     True
+
+    Ask/tell, driving the evaluation yourself:
+
+    >>> optimizer = MFBOptimizer(
+    ...     ForresterProblem(), budget=6.0, n_init_low=6, n_init_high=2,
+    ...     seed=0, msp_starts=20, msp_polish=0, n_restarts=1,
+    ... )
+    >>> while not optimizer.is_done:
+    ...     batch = optimizer.suggest()
+    ...     if not batch:
+    ...         break
+    ...     for x, fidelity in batch:
+    ...         evaluation = optimizer.problem.evaluate_unit(x, fidelity)
+    ...         _ = optimizer.observe(x, fidelity, evaluation)
+    >>> optimizer.result().feasible
+    True
     """
 
     algorithm_name = "MF-BO (ours)"
+    strategy_id = "mfbo"
+    rng_stream_names = ("init", "gp", "mc", "acq", "dedup")
 
     def __init__(
         self,
@@ -136,21 +174,20 @@ class MFBOptimizer:
             raise ValueError("fused_prediction must be 'mc' or 'mean_path'")
         if refit_every < 1:
             raise ValueError("refit_every must be >= 1")
-        self.problem = problem
         self.budget = float(budget)
         self.n_init_low = int(n_init_low)
         self.n_init_high = int(n_init_high)
         self.n_mc_samples = int(n_mc_samples)
         self.n_restarts = int(n_restarts)
+        self.msp_starts = int(msp_starts)
+        self.msp_polish = int(msp_polish)
+        self.ball_stddev = float(ball_stddev)
         self.fusion = fusion
         self.fused_prediction = fused_prediction
         self.refit_every = int(refit_every)
         self.gp_max_opt_iter = int(gp_max_opt_iter)
         self.max_iterations = int(max_iterations)
-        self.callback = callback
-        self.rng = (
-            rng if rng is not None else np.random.default_rng(seed)
-        )
+        self._setup_base(problem, seed, rng, callback)
         self.selector = FidelitySelector(gamma=gamma)
         self.acq_optimizer = MSPOptimizer(
             dim=problem.dim,
@@ -159,29 +196,31 @@ class MFBOptimizer:
             frac_around_low=0.10,
             frac_around_high=0.40,
             ball_stddev=ball_stddev,
-            rng=self.rng,
+            rng=self._rng_streams["acq"],
         )
-        self.history = History()
         self._low_models: list[GPR] | None = None
         self._fused_models: list | None = None
 
     # ------------------------------------------------------------------
     # initialization
     # ------------------------------------------------------------------
-    def _initialize(self) -> None:
+    def _initial_suggestions(self) -> list[Suggestion]:
+        rng = self._rng_streams["init"]
         init_low = maximin_latin_hypercube(
-            self.n_init_low, self.problem.dim, self.rng
+            self.n_init_low, self.problem.dim, rng
         )
         init_high = maximin_latin_hypercube(
-            self.n_init_high, self.problem.dim, self.rng
+            self.n_init_high, self.problem.dim, rng
         )
-        for u in init_low:
-            self.history.add(
-                u, self.problem.evaluate_unit(u, FIDELITY_LOW), iteration=0
-            )
-        for u in init_high:
-            self.history.add(
-                u, self.problem.evaluate_unit(u, FIDELITY_HIGH), iteration=0
+        return [Suggestion(u, FIDELITY_LOW) for u in init_low] + [
+            Suggestion(u, FIDELITY_HIGH) for u in init_high
+        ]
+
+    def _initialize(self) -> None:
+        """Evaluate the whole initial design in-process (eagerly)."""
+        for x_unit, fidelity in self.suggest(self.n_init_low + self.n_init_high):
+            self.observe(
+                x_unit, fidelity, self.problem.evaluate_unit(x_unit, fidelity)
             )
 
     # ------------------------------------------------------------------
@@ -195,6 +234,7 @@ class MFBOptimizer:
         hyperparameter optimization; in between, cached models are
         extended with the cheap incremental path.
         """
+        rng = self._rng_streams["gp"]
         x_low, y_low, c_low = self.history.data(FIDELITY_LOW)
         x_high, y_high, c_high = self.history.data(FIDELITY_HIGH)
         targets_low = [y_low] + [c_low[:, i] for i in range(c_low.shape[1])]
@@ -205,14 +245,17 @@ class MFBOptimizer:
             or (iteration - 1) % self.refit_every == 0
         )
         if not full_refit:
-            self._update_models(x_low, targets_low, x_high, targets_high)
+            self._update_models(
+                self._low_models, self._fused_models,
+                x_low, targets_low, x_high, targets_high,
+            )
             return self._low_models, self._fused_models
 
         low_models: list[GPR] = []
         fused_models: list = []
         for t_low, t_high in zip(targets_low, targets_high):
             low_gp = GPR(max_opt_iter=self.gp_max_opt_iter).fit(
-                x_low, t_low, n_restarts=self.n_restarts, rng=self.rng
+                x_low, t_low, n_restarts=self.n_restarts, rng=rng
             )
             low_models.append(low_gp)
             if self.fusion == "nargp":
@@ -223,13 +266,13 @@ class MFBOptimizer:
                 )
                 fused.fit(
                     x_low, t_low, x_high, t_high,
-                    rng=self.rng, low_model=low_gp,
+                    rng=rng, low_model=low_gp,
                 )
             else:
                 fused = AR1(n_restarts=self.n_restarts)
                 fused.fit(
                     x_low, t_low, x_high, t_high,
-                    rng=self.rng, low_model=low_gp,
+                    rng=rng, low_model=low_gp,
                 )
             fused_models.append(fused)
         self._low_models, self._fused_models = low_models, fused_models
@@ -237,6 +280,8 @@ class MFBOptimizer:
 
     def _update_models(
         self,
+        low_models: list[GPR],
+        fused_models: list,
         x_low: np.ndarray,
         targets_low: list[np.ndarray],
         x_high: np.ndarray,
@@ -247,10 +292,12 @@ class MFBOptimizer:
         The GP at the fidelity that received new data is extended with an
         incremental Cholesky append; when the low-fidelity posterior
         moved, the fused model's augmented training inputs are re-cached
-        (one factorization, no hyperparameter search).
+        (one factorization, no hyperparameter search). Operates on the
+        model lists it is given, so the constant-liar batch path can
+        apply the same update to fantasy copies.
         """
         for low_gp, fused, t_low, t_high in zip(
-            self._low_models, self._fused_models, targets_low, targets_high
+            low_models, fused_models, targets_low, targets_high
         ):
             n_low_old = low_gp.n_train
             low_grew = x_low.shape[0] > n_low_old
@@ -304,58 +351,71 @@ class MFBOptimizer:
         return ViolationAcquisition(constraint_predictors)
 
     # ------------------------------------------------------------------
-    # main loop
+    # suggestion (Algorithm 1, lines 4-7)
     # ------------------------------------------------------------------
-    def run(self) -> BOResult:
-        """Execute Algorithm 1 and return the best high-fidelity design."""
-        self._initialize()
-        iteration = 0
-        while (
-            self.history.total_cost < self.budget - 1e-9
-            and iteration < self.max_iterations
-        ):
-            iteration += 1
-            low_models, fused_models = self._fit_models(iteration)
-            z = self.rng.standard_normal(self.n_mc_samples)
+    def _propose(
+        self, low_models: list[GPR], fused_models: list, z: np.ndarray,
+        avoid: list[np.ndarray],
+    ) -> np.ndarray:
+        """One acquisition round: MSP low search, then the fused search."""
+        best_low = self.history.incumbent(FIDELITY_LOW)
+        best_high = self.history.incumbent(FIDELITY_HIGH)
+        feasible_low = self.history.best_feasible(FIDELITY_LOW)
+        feasible_high = self.history.best_feasible(FIDELITY_HIGH)
 
-            best_low = self.history.incumbent(FIDELITY_LOW)
-            best_high = self.history.incumbent(FIDELITY_HIGH)
-            feasible_low = self.history.best_feasible(FIDELITY_LOW)
-            feasible_high = self.history.best_feasible(FIDELITY_HIGH)
+        # --- step 1: low-fidelity acquisition -> x_l* (Algorithm 1 l.5)
+        low_predictors = [self._gp_predictor(m) for m in low_models]
+        low_acq = self._build_acquisition(
+            low_predictors,
+            feasible_low.objective if feasible_low is not None else None,
+            feasible_low is not None,
+        )
+        low_result = self.acq_optimizer.maximize(
+            low_acq,
+            incumbent_low=None if best_low is None else best_low.x_unit,
+            incumbent_high=None if best_high is None else best_high.x_unit,
+        )
 
-            # --- step 1: low-fidelity acquisition -> x_l* (Algorithm 1 l.5)
-            low_predictors = [self._gp_predictor(m) for m in low_models]
-            low_acq = self._build_acquisition(
-                low_predictors,
-                feasible_low.objective if feasible_low is not None else None,
-                feasible_low is not None,
-            )
-            low_result = self.acq_optimizer.maximize(
-                low_acq,
-                incumbent_low=None if best_low is None else best_low.x_unit,
-                incumbent_high=None if best_high is None else best_high.x_unit,
-            )
+        # --- step 2: fused acquisition seeded with x_l* (l.6)
+        fused_predictors = [
+            self._fused_predictor(m, z) for m in fused_models
+        ]
+        high_acq = self._build_acquisition(
+            fused_predictors,
+            feasible_high.objective if feasible_high is not None else None,
+            feasible_high is not None,
+        )
+        high_result = self.acq_optimizer.maximize(
+            high_acq,
+            incumbent_low=None if best_low is None else best_low.x_unit,
+            incumbent_high=None if best_high is None else best_high.x_unit,
+            extra_starts=low_result.x,
+        )
+        return self._dedup(high_result.x, avoid=avoid)
 
-            # --- step 2: fused acquisition seeded with x_l* (l.6)
-            fused_predictors = [
-                self._fused_predictor(m, z) for m in fused_models
-            ]
-            high_acq = self._build_acquisition(
-                fused_predictors,
-                feasible_high.objective if feasible_high is not None else None,
-                feasible_high is not None,
-            )
-            high_result = self.acq_optimizer.maximize(
-                high_acq,
-                incumbent_low=None if best_low is None else best_low.x_unit,
-                incumbent_high=None if best_high is None else best_high.x_unit,
-                extra_starts=low_result.x,
-            )
-            x_next = self._dedup(high_result.x)
+    def _refill(self, k: int) -> None:
+        """One Algorithm-1 iteration producing up to ``k`` candidates.
+
+        The first candidate follows the paper exactly. Further candidates
+        use constant-liar fantasization: the picked point is added to
+        *copies* of the models with its posterior-mean outcome, and the
+        acquisition search repeats — yielding distinct batch members
+        without spending any simulation budget.
+        """
+        self._iteration += 1
+        low_models, fused_models = self._fit_models(self._iteration)
+        z = self._rng_streams["mc"].standard_normal(self.n_mc_samples)
+
+        cur_low, cur_fused = low_models, fused_models
+        fantasy = None  # lazily created copies + growing data arrays
+        projected = self.history.total_cost
+        avoid: list[np.ndarray] = []
+        for j in range(k):
+            x_next = self._propose(cur_low, cur_fused, z, avoid)
 
             # --- step 3: fidelity selection (l.7, eq. 11/12)
-            fidelity = self.selector.select(x_next, low_models)
-            remaining = self.budget - self.history.total_cost
+            fidelity = self.selector.select(x_next, cur_low)
+            remaining = self.budget - projected
             if self.problem.cost(fidelity) > remaining + 1e-9:
                 if self.problem.cost(FIDELITY_LOW) <= remaining + 1e-9:
                     # Not enough budget left for a fine simulation; spend
@@ -366,40 +426,135 @@ class MFBOptimizer:
                     # Not even a coarse simulation fits: stop here so the
                     # reported cost respects the equivalent-cost budget
                     # the tables are keyed on.
+                    self._stopped = True
                     break
+            self._queue.append(Suggestion(x_next, fidelity))
+            avoid.append(x_next)
+            projected += self.problem.cost(fidelity)
+            if j < k - 1:
+                if fantasy is None:
+                    cur_low, cur_fused = copy.deepcopy(
+                        (low_models, fused_models)
+                    )
+                    fantasy = self._fantasy_data()
+                self._fantasize(cur_low, cur_fused, fantasy, x_next, fidelity)
 
-            evaluation = self.problem.evaluate_unit(x_next, fidelity)
-            self.history.add(x_next, evaluation, iteration=iteration)
-            if self.callback is not None:
-                self.callback(iteration, self.history)
-        return BOResult.from_history(
-            self.problem, self.history, self.algorithm_name
+    def _fantasy_data(self) -> dict:
+        """Mutable copies of the per-fidelity training arrays."""
+        x_low, y_low, c_low = self.history.data(FIDELITY_LOW)
+        x_high, y_high, c_high = self.history.data(FIDELITY_HIGH)
+        return {
+            "x_low": x_low,
+            "t_low": [y_low] + [c_low[:, i] for i in range(c_low.shape[1])],
+            "x_high": x_high,
+            "t_high": [y_high] + [c_high[:, i] for i in range(c_high.shape[1])],
+        }
+
+    def _fantasize(
+        self,
+        low_models: list[GPR],
+        fused_models: list,
+        fantasy: dict,
+        x: np.ndarray,
+        fidelity: str,
+    ) -> None:
+        """Constant-liar update: believe the posterior mean at ``x``.
+
+        Appends the fantasized outcome to the fantasy data arrays and
+        pushes it through the same incremental posterior-cache update the
+        ``refit_every`` path uses — no hyperparameter search, no RNG
+        consumption.
+        """
+        x2 = x[None, :]
+        if fidelity == FIDELITY_LOW:
+            values = [float(m.predict_mean(x2)[0]) for m in low_models]
+            fantasy["x_low"] = np.vstack([fantasy["x_low"], x2])
+            fantasy["t_low"] = [
+                np.append(t, v) for t, v in zip(fantasy["t_low"], values)
+            ]
+        else:
+            values = [
+                float(f.predict_mean_path(x2)[0][0]) for f in fused_models
+            ]
+            fantasy["x_high"] = np.vstack([fantasy["x_high"], x2])
+            fantasy["t_high"] = [
+                np.append(t, v) for t, v in zip(fantasy["t_high"], values)
+            ]
+        self._update_models(
+            low_models, fused_models,
+            fantasy["x_low"], fantasy["t_low"],
+            fantasy["x_high"], fantasy["t_high"],
+        )
+
+    def _done(self) -> bool:
+        return (
+            self.history.total_cost >= self.budget - 1e-9
+            or self._iteration >= self.max_iterations
         )
 
     # ------------------------------------------------------------------
-    def _dedup(self, x: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
-        """Nudge a candidate that (nearly) duplicates a previous sample.
+    # checkpointing
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "n_init_low": self.n_init_low,
+            "n_init_high": self.n_init_high,
+            "gamma": self.selector.gamma,
+            "n_mc_samples": self.n_mc_samples,
+            "n_restarts": self.n_restarts,
+            "msp_starts": self.msp_starts,
+            "msp_polish": self.msp_polish,
+            "ball_stddev": self.ball_stddev,
+            "fusion": self.fusion,
+            "fused_prediction": self.fused_prediction,
+            "refit_every": self.refit_every,
+            "gp_max_opt_iter": self.gp_max_opt_iter,
+            "max_iterations": self.max_iterations,
+        }
 
-        Exact duplicates produce singular GP covariance matrices; a tiny
-        perturbation (clipped to the cube) preserves the acquisition
-        optimum while keeping the kernel matrix invertible. A single
-        nudge is not enough — the draw can land back within tolerance, or
-        clipping at the cube boundary can undo it — so the perturbation
-        escalates decade by decade until the min-distance tolerance
-        actually holds against the whole history.
+    def _extra_state(self) -> dict:
+        """Cached surrogate models (the ``refit_every > 1`` fast path).
+
+        Serialized with their exact posterior caches so a resumed run
+        keeps predicting bit-identically; on full-refit iterations the
+        cache is rebuilt from scratch anyway.
         """
-        if not self.history.records:
-            return x
-        existing = self.history.x_unit_matrix
-        candidate = x
-        scale = 1e-6
-        while True:
-            distances = np.linalg.norm(existing - candidate[None, :], axis=1)
-            if float(np.min(distances)) > tolerance:
-                return candidate
-            candidate = np.clip(
-                x + scale * self.rng.standard_normal(x.size), 0.0, 1.0
+        if self._low_models is None:
+            return {"models": None}
+        fused = []
+        for model in self._fused_models:
+            fused.append(
+                {"type": self.fusion, **model.state_dict(include_low=False)}
             )
-            # Escalate so boundary clipping cannot pin the candidate onto
-            # the duplicate forever; at scale ~1 the draw spans the cube.
-            scale = min(10.0 * scale, 1.0)
+        return {
+            "models": {
+                "low": [m.state_dict() for m in self._low_models],
+                "fused": fused,
+            }
+        }
+
+    def _load_extra_state(self, extra: dict) -> None:
+        models = extra.get("models")
+        if models is None:
+            self._low_models = None
+            self._fused_models = None
+            return
+        low_models = [
+            GPR(max_opt_iter=self.gp_max_opt_iter).load_state_dict(state)
+            for state in models["low"]
+        ]
+        fused_models = []
+        for state, low_gp in zip(models["fused"], low_models):
+            if state["type"] == "nargp":
+                fused = NARGP(
+                    n_mc_samples=self.n_mc_samples,
+                    n_restarts=self.n_restarts,
+                    max_opt_iter=self.gp_max_opt_iter,
+                )
+            else:
+                fused = AR1(n_restarts=self.n_restarts)
+            fused.load_state_dict(state, low_model=low_gp)
+            fused_models.append(fused)
+        self._low_models = low_models
+        self._fused_models = fused_models

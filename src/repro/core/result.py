@@ -6,10 +6,41 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..problems.base import Problem
+from ..problems.base import Problem, _plain
 from .history import History, Record
 
 __all__ = ["BOResult"]
+
+
+def _metrics_equal(a: dict, b: dict) -> bool:
+    """Dict equality that tolerates array-valued metrics.
+
+    Plain ``==`` on the dicts would call ``bool()`` on an elementwise
+    array comparison and raise; ``np.array_equal`` also covers scalars
+    and sequences (so a list restored by ``from_dict`` compares equal to
+    the original ndarray).
+    """
+    if a.keys() != b.keys():
+        return False
+    return all(np.array_equal(a[key], b[key]) for key in a)
+
+
+def _histories_equal(a: History, b: History) -> bool:
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a.records, b.records):
+        ea, eb = ra.evaluation, rb.evaluation
+        if not (
+            np.array_equal(ra.x_unit, rb.x_unit)
+            and ra.iteration == rb.iteration
+            and ea.objective == eb.objective
+            and np.array_equal(ea.constraints, eb.constraints)
+            and ea.fidelity == eb.fidelity
+            and ea.cost == eb.cost
+            and _metrics_equal(ea.metrics, eb.metrics)
+        ):
+            return False
+    return True
 
 
 @dataclass
@@ -63,6 +94,59 @@ class BOResult:
             feasible=record.feasible,
             history=history,
             metrics=dict(record.evaluation.metrics),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (checkpoint format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable payload that round-trips via :meth:`from_dict`.
+
+        Used by the session checkpoint format; floats survive the JSON
+        round trip bit-exactly, so ``from_dict(to_dict(r)) == r``.
+        """
+        return {
+            "problem_name": self.problem_name,
+            "algorithm": self.algorithm,
+            "best_x": [float(v) for v in self.best_x],
+            "best_objective": float(self.best_objective),
+            "best_constraints": [float(c) for c in self.best_constraints],
+            "feasible": bool(self.feasible),
+            "history": self.history.to_dict(),
+            "metrics": {key: _plain(value) for key, value in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BOResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            problem_name=str(payload["problem_name"]),
+            algorithm=str(payload["algorithm"]),
+            best_x=np.asarray(payload["best_x"], dtype=float),
+            best_objective=float(payload["best_objective"]),
+            best_constraints=np.asarray(payload["best_constraints"], dtype=float),
+            feasible=bool(payload["feasible"]),
+            history=History.from_dict(payload["history"]),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+    def __eq__(self, other) -> bool:
+        """Field-wise equality with array-aware comparison.
+
+        Defined explicitly because the dataclass-generated ``__eq__``
+        chokes on ndarray fields; histories compare record-by-record.
+        """
+        if not isinstance(other, BOResult):
+            return NotImplemented
+        return (
+            self.problem_name == other.problem_name
+            and self.algorithm == other.algorithm
+            and np.array_equal(self.best_x, other.best_x)
+            and self.best_objective == other.best_objective
+            and np.array_equal(self.best_constraints, other.best_constraints)
+            and self.feasible == other.feasible
+            and _metrics_equal(self.metrics, other.metrics)
+            and _histories_equal(self.history, other.history)
         )
 
     @property

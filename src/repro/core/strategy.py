@@ -1,0 +1,276 @@
+"""Shared ask/tell scaffolding for all optimization strategies.
+
+Every optimizer in the library — the paper's Algorithm 1 and the four
+baselines — implements the :class:`repro.session.Strategy` protocol by
+inheriting from :class:`StrategyBase`, which owns the machinery they all
+need:
+
+* the pending-suggestion queue (initial space-filling designs and
+  multi-point batches are handed out through it);
+* per-component RNG *streams*: the root generator is split with
+  ``Generator.spawn`` into independent children (initial sampling, GP
+  training restarts, acquisition scatter, ...), so components do not
+  race each other for draws and each stream can be checkpointed and
+  restored exactly;
+* history bookkeeping, iteration counting and callback dispatch in
+  :meth:`observe`;
+* generic ``state_dict``/``load_state_dict`` covering queue, history,
+  iteration counters and every RNG stream, with strategy-specific hooks
+  for the rest;
+* the legacy blocking :meth:`run`, now a thin driver over an
+  :class:`repro.session.OptimizationSession` with a serial evaluator —
+  bit-for-bit equivalent to driving the session by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..problems.base import Evaluation, Problem
+from ..session.protocol import Suggestion
+from ..session.serialization import (
+    queue_from_state,
+    queue_to_state,
+    rng_state,
+    set_rng_state,
+    spawn_streams,
+)
+from .history import History, Record
+from .result import BOResult
+
+__all__ = ["StrategyBase", "nudge_duplicate"]
+
+
+def nudge_duplicate(
+    x: np.ndarray,
+    existing: np.ndarray,
+    rng: np.random.Generator,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Perturb ``x`` until it clears ``tolerance`` against ``existing``.
+
+    Exact duplicates produce singular GP covariance matrices; a tiny
+    perturbation (clipped to the cube) preserves the acquisition optimum
+    while keeping the kernel matrix invertible. A single nudge is not
+    enough — the draw can land back within tolerance, or clipping at the
+    cube boundary can undo it — so the perturbation escalates decade by
+    decade until the min-distance tolerance actually holds.
+    """
+    candidate = x
+    scale = 1e-6
+    while True:
+        distances = np.linalg.norm(existing - candidate[None, :], axis=1)
+        if float(np.min(distances)) > tolerance:
+            return candidate
+        candidate = np.clip(
+            x + scale * rng.standard_normal(x.size), 0.0, 1.0
+        )
+        # Escalate so boundary clipping cannot pin the candidate onto
+        # the duplicate forever; at scale ~1 the draw spans the cube.
+        scale = min(10.0 * scale, 1.0)
+
+
+class StrategyBase:
+    """Common ask/tell implementation; subclasses fill in four hooks.
+
+    ``_initial_suggestions()``
+        The space-filling design handed out before any model exists.
+    ``_refill(k)``
+        Push up to ``k`` new suggestions onto ``self._queue`` (one
+        strategy iteration). Leaving the queue empty ends the run.
+    ``_done()``
+        Budget/iteration-cap check, consulted only once the initial
+        design is out and the queue is drained.
+    ``config_dict()``
+        Constructor kwargs (minus problem/rng/callback) — stored in
+        checkpoints so :meth:`repro.session.OptimizationSession.resume`
+        can rebuild the strategy.
+
+    Strategies with model caches or population state additionally
+    override ``_extra_state()`` / ``_load_extra_state()``.
+    """
+
+    algorithm_name: str = "strategy"
+    #: checkpoint registry key (see ``repro.session.register_strategy``)
+    strategy_id: str = "base"
+    #: names of the independent RNG streams this strategy consumes
+    rng_stream_names: tuple[str, ...] = ("init",)
+
+    def _setup_base(
+        self,
+        problem: Problem,
+        seed: int | None,
+        rng: np.random.Generator | None,
+        callback=None,
+    ) -> None:
+        self.problem = problem
+        self.callback = callback
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self._rng_streams = spawn_streams(self.rng, self.rng_stream_names)
+        self.history = History()
+        self._iteration = 0
+        self._queue: list[Suggestion] = []
+        self._init_drawn = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # ask/tell
+    # ------------------------------------------------------------------
+    def suggest(self, k: int = 1) -> list[Suggestion]:
+        """Return up to ``k`` candidates to evaluate next.
+
+        The initial design is handed out first (in evaluation order);
+        afterwards each refill is one strategy iteration. Fewer than
+        ``k`` suggestions (or none) are returned when the budget does
+        not allow more.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not self._init_drawn:
+            self._queue.extend(self._initial_suggestions())
+            self._init_drawn = True
+        if not self._queue and not self.is_done:
+            self._refill(k)
+        batch = self._queue[:k]
+        del self._queue[:k]
+        return batch
+
+    def observe(
+        self, x_unit: np.ndarray, fidelity: str, evaluation: Evaluation
+    ) -> Record:
+        """Feed back one completed evaluation.
+
+        Observations must arrive in suggestion order (population-based
+        strategies aggregate a full generation before selection).
+        """
+        if evaluation.fidelity != fidelity:
+            raise ValueError(
+                f"evaluation was run at fidelity {evaluation.fidelity!r} "
+                f"but observed as {fidelity!r}"
+            )
+        record = self.history.add(
+            np.asarray(x_unit, dtype=float).ravel(),
+            evaluation,
+            iteration=self._iteration,
+        )
+        self._after_observe(record)
+        return record
+
+    def _after_observe(self, record: Record) -> None:
+        if self.callback is not None and self._iteration >= 1:
+            self.callback(self._iteration, self.history)
+
+    @property
+    def is_done(self) -> bool:
+        """True once nothing is pending and the budget is exhausted."""
+        if not self._init_drawn or self._queue:
+            return False
+        if self._stopped:
+            return True
+        return self._done()
+
+    # ------------------------------------------------------------------
+    # strategy hooks
+    # ------------------------------------------------------------------
+    def _initial_suggestions(self) -> list[Suggestion]:
+        return []
+
+    def _refill(self, k: int) -> None:
+        raise NotImplementedError
+
+    def _done(self) -> bool:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(self) -> BOResult:
+        """Blocking convenience loop (legacy API).
+
+        Equivalent to driving an :class:`OptimizationSession` with the
+        serial evaluator until the budget is exhausted.
+        """
+        from ..session.session import OptimizationSession
+
+        return OptimizationSession(self).run()
+
+    def result(self) -> BOResult:
+        """Best high-fidelity design found so far."""
+        return BOResult.from_history(
+            self.problem, self.history, self.algorithm_name
+        )
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Full JSON-serializable state (see the Strategy protocol)."""
+        return {
+            "strategy": self.strategy_id,
+            "config": self.config_dict(),
+            "iteration": int(self._iteration),
+            "init_drawn": bool(self._init_drawn),
+            "stopped": bool(self._stopped),
+            "queue": queue_to_state(self._queue),
+            "rng": {
+                "root": rng_state(self.rng),
+                **{
+                    name: rng_state(gen)
+                    for name, gen in self._rng_streams.items()
+                },
+            },
+            "history": self.history.to_dict(),
+            "extra": self._extra_state(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        if state.get("strategy") != self.strategy_id:
+            raise ValueError(
+                f"state belongs to strategy {state.get('strategy')!r}, "
+                f"not {self.strategy_id!r}"
+            )
+        self._iteration = int(state["iteration"])
+        self._init_drawn = bool(state["init_drawn"])
+        self._stopped = bool(state["stopped"])
+        self._queue = queue_from_state(state["queue"])
+        set_rng_state(self.rng, state["rng"]["root"])
+        for name, gen in self._rng_streams.items():
+            set_rng_state(gen, state["rng"][name])
+        self.history = History.from_dict(state["history"])
+        self._load_extra_state(state.get("extra", {}))
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _dedup(
+        self,
+        x: np.ndarray,
+        tolerance: float = 1e-9,
+        avoid: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Nudge a candidate that (nearly) duplicates a previous sample.
+
+        Checks the whole evaluation history plus any already-picked batch
+        members (``avoid``); see :func:`nudge_duplicate`. Requires a
+        ``"dedup"`` entry in :attr:`rng_stream_names`.
+        """
+        pieces = []
+        if self.history.records:
+            pieces.append(self.history.x_unit_matrix)
+        if avoid:
+            pieces.append(np.vstack(avoid))
+        if not pieces:
+            return x
+        return nudge_duplicate(
+            x, np.vstack(pieces), self._rng_streams["dedup"], tolerance
+        )

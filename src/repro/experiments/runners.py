@@ -5,6 +5,12 @@ Reproduces the paper's evaluation protocol: every algorithm is run
 table reports mean / median / best / worst objective plus the average
 number of (equivalent) simulations and the success count — exactly the
 row structure of Tables 1 and 2.
+
+Each run is a thin driver over an ask/tell
+:class:`repro.session.OptimizationSession`, so an
+:class:`repro.session.Evaluator` (e.g. a process pool) and a suggestion
+batch size can be injected to parallelize the simulations of every
+algorithm in a comparison.
 """
 
 from __future__ import annotations
@@ -16,7 +22,31 @@ import numpy as np
 
 from ..core.result import BOResult
 
-__all__ = ["AlgorithmSpec", "ComparisonResult", "compare_algorithms"]
+__all__ = [
+    "AlgorithmSpec",
+    "ComparisonResult",
+    "compare_algorithms",
+    "run_strategy",
+]
+
+
+def run_strategy(optimizer, evaluator=None, batch_size: int = 1) -> BOResult:
+    """Run one optimizer to completion and return its :class:`BOResult`.
+
+    Ask/tell strategies are driven through an
+    :class:`repro.session.OptimizationSession` (honouring ``evaluator``
+    and ``batch_size``); anything else falls back to its own blocking
+    ``run()`` so third-party optimizers keep working.
+    """
+    if callable(getattr(optimizer, "suggest", None)) and callable(
+        getattr(optimizer, "observe", None)
+    ):
+        from ..session.session import OptimizationSession
+
+        return OptimizationSession(optimizer, evaluator=evaluator).run(
+            batch_size=batch_size
+        )
+    return optimizer.run()
 
 
 @dataclass
@@ -102,12 +132,17 @@ def compare_algorithms(
     n_repeats: int,
     base_seed: int = 2019,
     verbose: bool = False,
+    evaluator=None,
+    batch_size: int = 1,
 ) -> dict[str, ComparisonResult]:
     """Run every algorithm ``n_repeats`` times on fresh problem instances.
 
     Seeds are derived per (algorithm, repeat) so each algorithm sees the
     same stream of repeat seeds — the paper's "run N times to average out
-    the random fluctuations".
+    the random fluctuations". ``evaluator``/``batch_size`` are forwarded
+    to the per-run :func:`run_strategy` session driver (e.g. pass a
+    :class:`repro.session.ProcessPoolEvaluator` and ``batch_size > 1``
+    to simulate suggestion batches in parallel).
     """
     if n_repeats < 1:
         raise ValueError("n_repeats must be >= 1")
@@ -118,7 +153,9 @@ def compare_algorithms(
             seed = base_seed + 7919 * repeat
             problem = problem_factory()
             optimizer = spec.factory(problem, seed)
-            result = optimizer.run()
+            result = run_strategy(
+                optimizer, evaluator=evaluator, batch_size=batch_size
+            )
             aggregated.results.append(result)
             if verbose:
                 print(

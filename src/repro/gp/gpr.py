@@ -295,13 +295,20 @@ class GPR:
     def _update_posterior_cache(self) -> None:
         x, y = self._x_train, self._y_train
         k = self.kernel(x) + self.noise_variance * self._eye
-        self._chol, self._jitter = jitter_cholesky(k)
+        chol, self._jitter = jitter_cholesky(k)
+        # Canonicalize cache layout to C order: LAPACK/BLAS pick their
+        # accumulation order from the memory layout, so a checkpoint
+        # restored from JSON (C-ordered) must hold bit-identical *and*
+        # identically laid out arrays to reproduce the live trajectory.
+        self._chol = np.ascontiguousarray(chol)
         self._alpha = cho_solve(self._chol, y)
         # Cached triangular L^-1 turns every predictive-variance query
         # into one GEMM instead of a per-call triangular solve, while
         # keeping the numerically stable ||L^-1 k*||^2 quad form (an
         # explicit K^-1 loses accuracy exactly where the GP is confident).
-        self._lower_inv = solve_lower(self._chol, np.eye(self._chol.shape[0]))
+        self._lower_inv = np.ascontiguousarray(
+            solve_lower(self._chol, np.eye(self._chol.shape[0]))
+        )
 
     # ------------------------------------------------------------------
     # incremental updates
@@ -346,13 +353,56 @@ class GPR:
             l21 = self._chol[n_old:, :n_old]
             l22 = self._chol[n_old:, n_old:]
             l22_inv = solve_lower(l22, np.eye(m))
-            lower_inv = np.zeros_like(self._chol)
+            # np.zeros (not zeros_like) keeps the cache C-ordered — see
+            # the layout note in _update_posterior_cache.
+            lower_inv = np.zeros(self._chol.shape)
             lower_inv[:n_old, :n_old] = old_lower_inv
             lower_inv[n_old:, n_old:] = l22_inv
             lower_inv[n_old:, :n_old] = -l22_inv @ (l21 @ old_lower_inv)
             self._lower_inv = lower_inv
         except CholeskyError:
             self._update_posterior_cache()
+        return self
+
+    # ------------------------------------------------------------------
+    # serialization (checkpoint format)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the fitted model.
+
+        Besides training data and hyperparameters the *posterior caches*
+        (Cholesky factor, ``alpha``, ``L^-1``, jitter) are stored
+        verbatim: a cache built through incremental :meth:`add_points`
+        appends differs in the last bits from a fresh factorization, and
+        checkpoint/resume must reproduce subsequent predictions exactly.
+        """
+        if self._chol is None:
+            raise RuntimeError("model has not been fit")
+        return {
+            "x_train": self._x_train.tolist(),
+            "y_raw": self._y_raw.tolist(),
+            "theta": self._full_theta().tolist(),
+            "jitter": float(self._jitter),
+            "chol": self._chol.tolist(),
+            "alpha": self._alpha.tolist(),
+            "lower_inv": self._lower_inv.tolist(),
+        }
+
+    def load_state_dict(self, state: dict) -> "GPR":
+        """Restore a model saved with :meth:`state_dict`.
+
+        The kernel must already have the right structure (the default ARD
+        :class:`RBF` is built automatically from the training data when
+        none is set); only its ``theta`` vector is overwritten.
+        """
+        x = np.asarray(state["x_train"], dtype=float)
+        y = np.asarray(state["y_raw"], dtype=float)
+        self._set_data(x, y)
+        self._set_full_theta(np.asarray(state["theta"], dtype=float))
+        self._chol = np.asarray(state["chol"], dtype=float)
+        self._alpha = np.asarray(state["alpha"], dtype=float)
+        self._lower_inv = np.asarray(state["lower_inv"], dtype=float)
+        self._jitter = float(state["jitter"])
         return self
 
     # ------------------------------------------------------------------

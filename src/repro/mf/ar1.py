@@ -104,6 +104,36 @@ class AR1:
         if self.low_model is None or self.delta_model is None:
             raise RuntimeError("model has not been fit")
 
+    # ------------------------------------------------------------------
+    # serialization (checkpoint format)
+    # ------------------------------------------------------------------
+    def state_dict(self, include_low: bool = True) -> dict:
+        """JSON-serializable snapshot (see :meth:`repro.mf.NARGP.state_dict`)."""
+        self._require_fit()
+        return {
+            "rho": float(self.rho),
+            "delta": self.delta_model.state_dict(),
+            "low": self.low_model.state_dict() if include_low else None,
+        }
+
+    def load_state_dict(self, state: dict, low_model: GPR | None = None) -> "AR1":
+        """Restore a model saved with :meth:`state_dict`."""
+        self.rho = float(state["rho"])
+        if state.get("low") is not None:
+            self.low_model = GPR(
+                noise_variance=self.noise_variance
+            ).load_state_dict(state["low"])
+        elif low_model is not None:
+            self.low_model = low_model
+        else:
+            raise ValueError(
+                "state has no low-fidelity model; pass low_model explicitly"
+            )
+        self.delta_model = GPR(
+            noise_variance=self.noise_variance
+        ).load_state_dict(state["delta"])
+        return self
+
     def predict_low(self, x_star: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Low-fidelity posterior ``(mu_l, var_l)``."""
         self._require_fit()

@@ -63,6 +63,45 @@ class Evaluation:
             return 0.0
         return float(np.sum(np.maximum(self.constraints, 0.0)))
 
+    # ------------------------------------------------------------------
+    # serialization (checkpoint format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable payload that round-trips via :meth:`from_dict`.
+
+        Floats survive a JSON round trip bit-exactly (``repr`` shortest
+        representation), which the session checkpoint format relies on.
+        """
+        return {
+            "objective": float(self.objective),
+            "constraints": [float(c) for c in self.constraints],
+            "fidelity": self.fidelity,
+            "cost": float(self.cost),
+            "metrics": {key: _plain(value) for key, value in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Evaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output."""
+        return cls(
+            objective=float(payload["objective"]),
+            constraints=np.asarray(payload["constraints"], dtype=float),
+            fidelity=str(payload["fidelity"]),
+            cost=float(payload["cost"]),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+
+def _plain(value):
+    """Coerce numpy scalars/arrays to JSON-friendly python values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
 
 class Problem:
     """Base class for constrained multi-fidelity optimization problems.

@@ -1,0 +1,27 @@
+"""Ask/tell session layer: strategies suggest, callers evaluate.
+
+Decouples the paper's Algorithm 1 (and every baseline) from the blocking
+simulate-in-the-loop control flow:
+
+* :class:`Strategy` — the ask/tell protocol
+  (``suggest``/``observe``/``state_dict``).
+* :class:`OptimizationSession` — drives a strategy against an
+  injectable :class:`Evaluator`, with JSON checkpoint/resume.
+* :class:`SerialEvaluator` / :class:`ProcessPoolEvaluator` — evaluation
+  backends (in-process, or parallel across worker processes).
+"""
+
+from .evaluators import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from .protocol import Strategy, Suggestion
+from .session import OptimizationSession, load_checkpoint, register_strategy
+
+__all__ = [
+    "OptimizationSession",
+    "Strategy",
+    "Suggestion",
+    "Evaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "load_checkpoint",
+    "register_strategy",
+]

@@ -1,0 +1,88 @@
+"""Checkpoint serialization helpers (RNG state, suggestion queues).
+
+Everything in a checkpoint is plain JSON. Floats round-trip bit-exactly
+through ``json`` (shortest-``repr`` encoding), and numpy bit-generator
+states are dictionaries of arbitrary-precision integers, so the whole
+optimizer state — including every RNG stream — survives a save/load
+cycle without drift.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .protocol import Suggestion
+
+__all__ = [
+    "rng_state",
+    "set_rng_state",
+    "spawn_streams",
+    "queue_to_state",
+    "queue_from_state",
+]
+
+
+def _jsonify(value):
+    """Recursively convert numpy containers/scalars to JSON-safe values.
+
+    PCG64 states are plain (big) ints, but e.g. Philox and SFC64 carry
+    ``uint64`` ndarrays; the bit-generator state setters coerce lists
+    back, so lists round-trip losslessly.
+    """
+    if isinstance(value, dict):
+        return {key: _jsonify(entry) for key, entry in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_jsonify(entry) for entry in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def rng_state(generator: np.random.Generator) -> dict:
+    """JSON-serializable bit-generator state of ``generator``."""
+    return _jsonify(generator.bit_generator.state)
+
+
+def set_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a state captured with :func:`rng_state` in place."""
+    current = generator.bit_generator.state.get("bit_generator")
+    saved = state.get("bit_generator")
+    if current != saved:
+        raise ValueError(
+            f"checkpoint was written with bit generator {saved!r} but the "
+            f"strategy uses {current!r}; construct it with a matching rng"
+        )
+    generator.bit_generator.state = copy.deepcopy(state)
+
+
+def spawn_streams(
+    root: np.random.Generator, names: tuple[str, ...]
+) -> dict[str, np.random.Generator]:
+    """Spawn one independent child generator per component name.
+
+    Child streams keep initial sampling, GP training restarts, acquisition
+    scatter, Monte-Carlo fusion draws etc. statistically independent *and*
+    individually restorable — the fix for the shared-generator coupling
+    that made resume and batched evaluation irreproducible.
+    """
+    return dict(zip(names, root.spawn(len(names))))
+
+
+def queue_to_state(queue: list[Suggestion]) -> list[dict]:
+    """Serialize a pending-suggestion queue."""
+    return [
+        {"x_unit": [float(v) for v in s.x_unit], "fidelity": s.fidelity}
+        for s in queue
+    ]
+
+
+def queue_from_state(state: list[dict]) -> list[Suggestion]:
+    """Rebuild a pending-suggestion queue."""
+    return [
+        Suggestion(np.asarray(s["x_unit"], dtype=float), str(s["fidelity"]))
+        for s in state
+    ]
