@@ -12,9 +12,15 @@ record its perf trajectory next to the previous ones::
     python benchmarks/run_benchmarks.py --smoke         # CI breakage check
     python benchmarks/run_benchmarks.py --out custom.json
     python benchmarks/run_benchmarks.py --compare BENCH_a.json BENCH_b.json
+    python benchmarks/run_benchmarks.py --compare BENCH_baseline.json --tolerance 0.3
 
-``--compare`` prints per-test speedup ratios between two emitted files
-and exits without running anything. ``--smoke`` executes every substrate
+``--compare`` with two files prints per-test speedup ratios between two
+previously emitted files and exits without running anything. With a
+*single* file it becomes the perf-regression guard: the default suites
+run fresh (written to ``--out``, default ``BENCH_fresh.json``), the
+result is compared against the baseline, and the run exits non-zero if
+any tracked benchmark's mean slowed down by more than ``--tolerance``
+(a fraction, e.g. ``0.3`` = 30%). ``--smoke`` executes every substrate
 benchmark body exactly once with timing collection disabled — a fast
 pass that surfaces breakage (import errors, API drift, assertion
 failures) in CI without the noise-sensitive timing loops.
@@ -33,6 +39,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SUBSTRATE_SUITE = "benchmarks/test_substrate_perf.py"
 SESSION_SUITE = "benchmarks/test_session_overhead.py"
+SPARSE_SUITE = "benchmarks/test_substrate_sparse.py"
 
 
 def default_output_name() -> str:
@@ -66,30 +73,55 @@ def _build_env(env_path: str) -> dict[str, str]:
     return env
 
 
-def load_means(path: Path) -> dict[str, float]:
+def load_times(path: Path) -> dict[str, float]:
+    """Per-benchmark ``min`` times (the noise-robust statistic).
+
+    Shared-runner wall clock swings 2-3x under load; the minimum over
+    rounds tracks the true cost far more stably than the mean, so the
+    regression guard compares minima.
+    """
     payload = json.loads(path.read_text())
     return {
-        bench["name"]: float(bench["stats"]["mean"])
+        bench["name"]: float(bench["stats"]["min"])
         for bench in payload.get("benchmarks", [])
     }
 
 
-def compare(before_path: Path, after_path: Path) -> None:
-    before = load_means(before_path)
-    after = load_means(after_path)
+def compare(
+    before_path: Path, after_path: Path, tolerance: float | None = None
+) -> list[str]:
+    """Print the before/after table; return the benchmarks that regressed.
+
+    A benchmark regresses when its min time slows down by more than
+    ``tolerance`` (a fraction); with ``tolerance=None`` the comparison
+    is informational only.
+    """
+    before = load_times(before_path)
+    after = load_times(after_path)
     shared = sorted(set(before) & set(after))
     if not shared:
         print("no common benchmarks between the two files")
-        return
+        return []
+    regressions = []
     width = max(len(name) for name in shared)
     print(f"{'benchmark'.ljust(width)}  before(ms)  after(ms)  speedup")
     for name in shared:
         ratio = before[name] / after[name] if after[name] > 0 else float("inf")
+        flag = ""
+        if tolerance is not None and after[name] > before[name] * (
+            1.0 + tolerance
+        ):
+            regressions.append(name)
+            flag = f"  REGRESSED (> {tolerance:.0%} slower)"
         print(
             f"{name.ljust(width)}  "
             f"{before[name] * 1e3:9.3f}  {after[name] * 1e3:8.3f}  "
-            f"{ratio:6.2f}x"
+            f"{ratio:6.2f}x{flag}"
         )
+    only_before = sorted(set(before) - set(after))
+    if only_before:
+        print(f"missing from the fresh run: {', '.join(only_before)}")
+    return regressions
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,27 +145,74 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--compare",
-        nargs=2,
-        metavar=("BEFORE", "AFTER"),
-        help="compare two previously emitted BENCH_*.json files and exit",
+        nargs="+",
+        metavar="BENCH_JSON",
+        help="two files: compare them and exit. one file: run the "
+        "default suites fresh, compare against this baseline, and fail "
+        "on --tolerance regressions (the CI perf guard)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="fail (exit 2) when any shared benchmark's min time slows "
+        "down by more than this fraction (e.g. 0.3 = 30%%)",
     )
     args = parser.parse_args(argv)
 
-    if args.compare:
-        compare(Path(args.compare[0]), Path(args.compare[1]))
-        return 0
+    if args.compare and len(args.compare) == 2:
+        regressions = compare(
+            Path(args.compare[0]), Path(args.compare[1]), args.tolerance
+        )
+        return 2 if regressions else 0
+    if args.compare and len(args.compare) > 2:
+        parser.error("--compare takes one (guard mode) or two files")
 
     if args.smoke and args.out:
         parser.error("--smoke writes no JSON; drop --out or --smoke")
     # The default targets (and the CI --smoke breakage check) cover the
-    # session_overhead suite too: the ask/tell layer must keep producing
-    # the legacy trajectories.
-    targets = ["benchmarks"] if args.all else [SUBSTRATE_SUITE, SESSION_SUITE]
+    # session_overhead and sparse-backend suites too: the ask/tell layer
+    # must keep producing the legacy trajectories, and both solver
+    # backends must keep solving the large-circuit scenario.
+    targets = (
+        ["benchmarks"]
+        if args.all
+        else [SUBSTRATE_SUITE, SESSION_SUITE, SPARSE_SUITE]
+    )
     if args.smoke:
         return run_suite(targets, None)
 
     # Resolve against the caller's cwd: pytest below runs with
     # cwd=REPO_ROOT, which would silently relocate a relative --out.
+    if args.compare:  # single file: perf-regression guard mode
+        baseline = Path(args.compare[0]).resolve()
+        if not baseline.is_file():
+            parser.error(f"baseline {baseline} does not exist")
+        if args.tolerance is None:
+            parser.error(
+                "guard mode needs --tolerance (e.g. --tolerance 0.3); "
+                "without it no regression could ever be reported"
+            )
+        out_path = (
+            Path(args.out).resolve()
+            if args.out
+            else REPO_ROOT / "BENCH_fresh.json"
+        )
+        if out_path == baseline:
+            parser.error("--out must differ from the --compare baseline")
+        status = run_suite(targets, out_path)
+        if status != 0:
+            return status
+        print(f"wrote {out_path}")
+        regressions = compare(baseline, out_path, args.tolerance)
+        if regressions:
+            print(
+                f"perf regression in {len(regressions)} benchmark(s): "
+                + ", ".join(regressions)
+            )
+            return 2
+        return 0
+
     out_path = (
         Path(args.out).resolve()
         if args.out

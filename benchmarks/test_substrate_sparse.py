@@ -1,0 +1,72 @@
+"""Dense-vs-sparse solver backend crossover on large circuits.
+
+The same N-section RC interconnect ladder (hundreds of MNA unknowns)
+solved through both backends, for each analysis. Dense LAPACK solves are
+O(n^3) per factorization and the AC sweep pays one per frequency; the
+sparse backend factorizes the fixed CSC structure with SuperLU in
+near-O(n) for these banded systems. The recorded pairs document the
+crossover that sets :data:`repro.spice.backend.SPARSE_AUTO_THRESHOLD`
+and the headline >= 5x sparse speedup at >= 200 nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.ladder import build_ladder_circuit
+from repro.spice import simulate_transient, solve_ac, solve_dc
+
+#: Ladder sections for the headline comparison (size = N + 3 unknowns).
+N_SECTIONS = 250
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return build_ladder_circuit(N_SECTIONS)
+
+
+#: DC divider: (R_wire + R_term) / (R_drv + R_wire + R_term).
+_R_WIRE = N_SECTIONS * 40.0
+_V_N1 = (_R_WIRE + 50e3) / (100.0 + _R_WIRE + 50e3)
+
+
+@pytest.fixture(scope="module")
+def ladder_x_op(ladder):
+    return solve_dc(ladder, backend="sparse").x
+
+
+def test_ladder_dc_dense_250(benchmark, ladder):
+    solution = benchmark(solve_dc, ladder, backend="dense")
+    assert solution.voltage("n1") == pytest.approx(_V_N1, rel=1e-9)
+
+
+def test_ladder_dc_sparse_250(benchmark, ladder):
+    solution = benchmark(solve_dc, ladder, backend="sparse")
+    assert solution.voltage("n1") == pytest.approx(_V_N1, rel=1e-9)
+
+
+def test_ladder_ac_dense_250(benchmark, ladder, ladder_x_op):
+    solution = benchmark(
+        solve_ac, ladder, 1e6, 1e10, n_points=49, x_op=ladder_x_op, backend="dense"
+    )
+    assert np.all(np.isfinite(solution.gain_db(f"n{N_SECTIONS + 1}")))
+
+
+def test_ladder_ac_sparse_250(benchmark, ladder, ladder_x_op):
+    solution = benchmark(
+        solve_ac, ladder, 1e6, 1e10, n_points=49, x_op=ladder_x_op, backend="sparse"
+    )
+    assert np.all(np.isfinite(solution.gain_db(f"n{N_SECTIONS + 1}")))
+
+
+def test_ladder_transient_dense_250(benchmark, ladder):
+    result = benchmark(
+        simulate_transient, ladder, 1e-7, 1e-9, use_ic=True, backend="dense"
+    )
+    assert result.times.size == 101
+
+
+def test_ladder_transient_sparse_250(benchmark, ladder):
+    result = benchmark(
+        simulate_transient, ladder, 1e-7, 1e-9, use_ic=True, backend="sparse"
+    )
+    assert result.times.size == 101

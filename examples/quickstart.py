@@ -26,9 +26,7 @@ See ``examples/ask_tell.py`` for driving the suggest/observe loop
 yourself (external simulators, parallel batches, checkpointing).
 """
 
-import numpy as np
-
-from repro import MFBOptimizer, WEIBO
+from repro import WEIBO, MFBOptimizer
 from repro.problems import ForresterProblem
 
 

@@ -1,9 +1,15 @@
 """Circuit optimization testbenches (paper §5 plus new workloads)."""
 
 from .charge_pump import ChargePumpProblem, charge_pump_currents
+from .ladder import (
+    InterconnectLadderProblem,
+    build_amplifier_chain,
+    build_ladder_circuit,
+    simulate_ladder,
+)
 from .opamp import OpAmpProblem, build_opamp_circuit, simulate_opamp
 from .power_amplifier import PowerAmplifierProblem, build_pa_circuit, simulate_pa
-from .pvt import Corner, N_CORNERS, all_corners, typical_corner
+from .pvt import N_CORNERS, Corner, all_corners, typical_corner
 
 __all__ = [
     "PowerAmplifierProblem",
@@ -14,6 +20,10 @@ __all__ = [
     "OpAmpProblem",
     "build_opamp_circuit",
     "simulate_opamp",
+    "InterconnectLadderProblem",
+    "build_ladder_circuit",
+    "build_amplifier_chain",
+    "simulate_ladder",
     "Corner",
     "N_CORNERS",
     "all_corners",

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..design.space import DesignSpace, Variable
 from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
-from .pvt import Corner, N_CORNERS, all_corners, typical_corner
+from .pvt import N_CORNERS, Corner, all_corners, typical_corner
 
 __all__ = ["ChargePumpProblem", "DEVICE_NAMES", "charge_pump_currents"]
 

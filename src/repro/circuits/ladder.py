@@ -1,0 +1,266 @@
+"""Large-scale RC interconnect ladder — the sparse-backend scenario.
+
+The paper's testbenches top out at a dozen MNA unknowns; production
+sizing problems do not. This module opens a workload whose netlists have
+*hundreds* of nodes — the regime the sparse linear-solver backend
+(:mod:`repro.spice.backend`) exists for — while staying physically
+meaningful: a driver charging a distributed RC interconnect, the
+canonical on-chip wire model.
+
+Two builders are provided:
+
+* :func:`build_ladder_circuit` — an N-section RC ladder (series wire
+  resistance per section, shunt wire capacitance per node) between a
+  driver and a far-end load. Optionally width-tapered: section ``k``
+  carries width ``w * taper^(k / N)``, the classic exponential-taper
+  layout trade-off.
+* :func:`build_amplifier_chain` — an N-stage ``gm``/``RC`` amplifier
+  chain (VCCS stages) whose pole count grows with N; a second
+  many-unknown topology for backend stress tests.
+
+:class:`InterconnectLadderProblem` wraps the ladder as a two-fidelity
+sizing :class:`~repro.problems.base.Problem`: choose the wire width, the
+driver strength and the taper to minimize a switching-energy/area figure
+of merit subject to far-end bandwidth and DC attenuation specs. The
+**fidelity axis is the spatial discretization**: the coarse evaluation
+lumps the wire into ``n_sections / lump_factor`` sections (same total R
+and C, systematically optimistic ripple and delay), the fine evaluation
+simulates the full ladder — cheap-and-biased vs. expensive-and-right,
+the structure the paper's NARGP fusion exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..design.space import DesignSpace, Variable
+from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+from ..spice.ac import solve_ac
+from ..spice.dc import ConvergenceError
+from ..spice.elements import VCCS, Capacitor, Resistor, VoltageSource
+from ..spice.netlist import Circuit
+
+__all__ = [
+    "build_ladder_circuit",
+    "build_amplifier_chain",
+    "simulate_ladder",
+    "InterconnectLadderProblem",
+]
+
+#: Default section count of the high-fidelity ladder.
+N_SECTIONS = 200
+#: Coarse-fidelity lumping factor (sections merged per coarse section).
+LUMP_FACTOR = 8
+#: Wire sheet resistance per section at unit width (ohms).
+R_SECTION = 40.0
+#: Wire area capacitance per section at unit width (farads).
+C_AREA = 12e-15
+#: Width-independent fringe capacitance per section (farads).
+C_FRINGE = 3e-15
+#: Far-end receiver load (farads).
+C_LOAD = 20e-15
+#: Far-end resistive termination (ohms); also the DC path that keeps
+#: the MNA system non-singular at omega = 0.
+R_TERM = 50e3
+#: Metrics reported when the solve fails (heavily infeasible).
+FAILED_METRICS = {
+    "bandwidth_mhz": 0.0,
+    "dc_attenuation_db": -100.0,
+    "wire_cap_pf": 100.0,
+    "fom": 1e3,
+}
+
+
+def build_ladder_circuit(
+    n_sections: int,
+    width: float = 1.0,
+    r_driver: float = 100.0,
+    taper: float = 1.0,
+    r_section: float = R_SECTION,
+    c_area: float = C_AREA,
+    c_fringe: float = C_FRINGE,
+    c_load: float = C_LOAD,
+    r_term: float = R_TERM,
+) -> Circuit:
+    """Build an N-section RC interconnect ladder.
+
+    ``in -> Rdrv -> n1 -> R -> n2 -> ... -> n{N}`` with a shunt
+    capacitor at every internal node and a ``c_load`` / ``r_term``
+    receiver at the far end. The input source carries a unit AC
+    excitation, so the far-end phasor is the wire transfer function —
+    the resistive termination makes the DC attenuation a real function
+    of the accumulated wire resistance. Section ``k`` (0-based) has
+    width ``width * taper ** (k / n_sections)``: resistance scales
+    inversely with width, area capacitance proportionally.
+    """
+    if n_sections < 1:
+        raise ValueError("n_sections must be >= 1")
+    if width <= 0 or r_driver <= 0:
+        raise ValueError("width and r_driver must be positive")
+    if taper <= 0:
+        raise ValueError("taper must be positive")
+    circuit = Circuit(f"rc-ladder-{n_sections}")
+    circuit.add(VoltageSource("Vin", "in", "0", dc=1.0, ac=1.0))
+    circuit.add(Resistor("Rdrv", "in", "n1", r_driver))
+    for k in range(n_sections):
+        node = f"n{k + 1}"
+        w_k = width * taper ** (k / n_sections)
+        circuit.add(Resistor(f"Rw{k + 1}", node, f"n{k + 2}", r_section / w_k))
+        circuit.add(Capacitor(f"Cw{k + 1}", node, "0", c_area * w_k + c_fringe))
+    far = f"n{n_sections + 1}"
+    circuit.add(Capacitor("Cload", far, "0", c_load))
+    circuit.add(Resistor("Rterm", far, "0", r_term))
+    return circuit
+
+
+def build_amplifier_chain(
+    n_stages: int,
+    gm: float = 1e-3,
+    r_load: float = 2e3,
+    c_load: float = 50e-15,
+) -> Circuit:
+    """Build an N-stage gm/RC amplifier chain.
+
+    Each stage is a VCCS driving an RC load, DC-coupled into the next;
+    the chain has ``n_stages`` poles and a per-stage DC gain of
+    ``-gm * r_load``. Useful as a second many-node topology whose MNA
+    structure differs from the pure ladder (controlled sources stamp
+    unsymmetric blocks).
+    """
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    circuit = Circuit(f"amp-chain-{n_stages}")
+    circuit.add(VoltageSource("Vin", "s0", "0", dc=0.0, ac=1.0))
+    for k in range(n_stages):
+        n_in, n_out = f"s{k}", f"s{k + 1}"
+        circuit.add(VCCS(f"G{k + 1}", n_out, "0", n_in, "0", gm))
+        circuit.add(Resistor(f"R{k + 1}", n_out, "0", r_load))
+        circuit.add(Capacitor(f"C{k + 1}", n_out, "0", c_load))
+    return circuit
+
+
+def simulate_ladder(
+    width: float,
+    r_driver: float,
+    taper: float,
+    fidelity: str,
+    n_sections: int = N_SECTIONS,
+    backend: str = "auto",
+) -> dict:
+    """Simulate one ladder design point and return its sizing metrics.
+
+    The coarse fidelity lumps the wire into ``n_sections / LUMP_FACTOR``
+    sections carrying the same total resistance and capacitance; the
+    fine fidelity simulates all ``n_sections``. Metrics: far-end -3 dB
+    ``bandwidth_mhz``, ``dc_attenuation_db`` at the first sweep point,
+    total ``wire_cap_pf`` (the switching-energy proxy) and the ``fom``
+    the optimizer minimizes.
+    """
+    if fidelity == FIDELITY_LOW:
+        n_eff = max(2, n_sections // LUMP_FACTOR)
+    else:
+        n_eff = n_sections
+    scale = n_sections / n_eff  # keep total wire R and C invariant
+    circuit = build_ladder_circuit(
+        n_eff,
+        width=width,
+        r_driver=r_driver,
+        taper=taper,
+        r_section=R_SECTION * scale,
+        c_area=C_AREA * scale,
+        c_fringe=C_FRINGE * scale,
+    )
+    far = f"n{n_eff + 1}"
+    try:
+        solution = solve_ac(circuit, 1e6, 1e11, points_per_decade=12, backend=backend)
+    except (ConvergenceError, np.linalg.LinAlgError):
+        return dict(FAILED_METRICS)
+    gain_db = solution.gain_db(far)
+    dc_gain_db = float(gain_db[0])
+    # -3 dB bandwidth relative to the DC level, log-interpolated
+    below = np.flatnonzero(gain_db < dc_gain_db - 3.0)
+    if below.size == 0:
+        bandwidth_hz = float(solution.frequencies[-1])
+    else:
+        k = int(below[0])
+        log_f = np.log10(solution.frequencies)
+        drop = gain_db - (dc_gain_db - 3.0)
+        slope = (drop[k] - drop[k - 1]) / (log_f[k] - log_f[k - 1])
+        bandwidth_hz = float(10.0 ** (log_f[k - 1] - drop[k - 1] / slope))
+    widths = width * taper ** (np.arange(n_eff) / n_eff)
+    wire_cap = (
+        float(np.sum(C_AREA * n_sections / n_eff * widths))
+        + C_FRINGE * n_sections
+    )
+    # FOM: switching-energy proxy plus a driver-area proxy (stronger
+    # drivers are bigger); both in comparable picounits.
+    fom = wire_cap * 1e12 + 10.0 / (r_driver / 1e3)
+    return {
+        "bandwidth_mhz": bandwidth_hz / 1e6,
+        "dc_attenuation_db": dc_gain_db,
+        "wire_cap_pf": wire_cap * 1e12,
+        "fom": float(fom),
+    }
+
+
+class InterconnectLadderProblem(Problem):
+    """Interconnect sizing on the N-section RC ladder.
+
+    ::
+
+        minimize  FOM = wire capacitance (pF) + driver-area proxy
+        s.t.      far-end bandwidth  > bw_min_mhz
+                  DC attenuation    > att_min_db
+
+    Design variables: wire ``width`` (relative to unit width, log),
+    driver resistance ``r_driver`` (log) and the width ``taper`` ratio.
+    Low fidelity lumps the wire 8x (systematically optimistic), high
+    fidelity simulates the full ladder — the cost ratio matches the
+    section counts.
+    """
+
+    name = "interconnect-ladder"
+
+    def __init__(
+        self,
+        n_sections: int = N_SECTIONS,
+        bw_min_mhz: float = 18.0,
+        att_min_db: float = -1.5,
+        backend: str = "auto",
+    ):
+        space = DesignSpace(
+            [
+                Variable("width", 0.2, 8.0, unit="x", log_scale=True),
+                Variable("r_driver", 20.0, 2e3, unit="Ohm", log_scale=True),
+                Variable("taper", 0.25, 1.5, unit="x", log_scale=True),
+            ]
+        )
+        n_low = max(2, n_sections // LUMP_FACTOR)
+        super().__init__(
+            space=space,
+            n_constraints=2,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: n_low / n_sections, FIDELITY_HIGH: 1.0},
+        )
+        self.n_sections = int(n_sections)
+        self.bw_min_mhz = float(bw_min_mhz)
+        self.att_min_db = float(att_min_db)
+        self.backend = backend
+
+    def _evaluate(self, x, fidelity):
+        width, r_driver, taper = (float(v) for v in x)
+        metrics = simulate_ladder(
+            width,
+            r_driver,
+            taper,
+            fidelity,
+            n_sections=self.n_sections,
+            backend=self.backend,
+        )
+        constraints = np.array(
+            [
+                self.bw_min_mhz - metrics["bandwidth_mhz"],
+                self.att_min_db - metrics["dc_attenuation_db"],
+            ]
+        )
+        return metrics["fom"], constraints, metrics

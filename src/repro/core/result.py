@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..problems.base import Problem, _plain
-from .history import History, Record
+from .history import History
 
 __all__ = ["BOResult"]
 

@@ -9,7 +9,12 @@ from .figures import (
 )
 from .runners import AlgorithmSpec, ComparisonResult, compare_algorithms
 from .scale import FULL, SMOKE, Scale, current_scale
-from .tables import tab1_power_amplifier, tab2_charge_pump, tab3_opamp
+from .tables import (
+    tab1_power_amplifier,
+    tab2_charge_pump,
+    tab3_opamp,
+    tab4_ladder,
+)
 
 __all__ = [
     "fig1_posterior",
@@ -19,6 +24,7 @@ __all__ = [
     "tab1_power_amplifier",
     "tab2_charge_pump",
     "tab3_opamp",
+    "tab4_ladder",
     "abl1_fusion",
     "abl2_msp_scatter",
     "abl3_gamma",

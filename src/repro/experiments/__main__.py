@@ -15,14 +15,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from . import (
-    FULL,
     abl1_fusion,
     abl2_msp_scatter,
     abl3_gamma,
-    current_scale,
     fig1_posterior,
     fig2_ei_landscape,
     fig3_pa_correlation,
@@ -30,10 +26,11 @@ from . import (
     tab1_power_amplifier,
     tab2_charge_pump,
     tab3_opamp,
+    tab4_ladder,
 )
 
 ARTIFACTS = ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2", "tab3",
-             "abl1", "abl2", "abl3")
+             "tab4", "abl1", "abl2", "abl3")
 
 
 def _print_fig1(seed: int) -> None:
@@ -81,6 +78,10 @@ def _print_tab3(seed: int) -> None:
     print(tab3_opamp(base_seed=seed, verbose=True)["table"])
 
 
+def _print_tab4(seed: int) -> None:
+    print(tab4_ladder(base_seed=seed, verbose=True)["table"])
+
+
 def _print_abl1(seed: int) -> None:
     result = abl1_fusion(seed=seed)
     print("Ablation abl1 — NARGP vs AR1")
@@ -106,7 +107,7 @@ def _print_abl3(seed: int) -> None:
 _RUNNERS = {
     "fig1": _print_fig1, "fig2": _print_fig2, "fig3": _print_fig3,
     "fig4": _print_fig4, "tab1": _print_tab1, "tab2": _print_tab2,
-    "tab3": _print_tab3,
+    "tab3": _print_tab3, "tab4": _print_tab4,
     "abl1": _print_abl1, "abl2": _print_abl2, "abl3": _print_abl3,
 }
 

@@ -60,6 +60,17 @@ class Scale:
     tab3_gaspad_init: int
     tab3_de_budget: int
     tab3_de_pop: int
+    # Table 4 — interconnect ladder (sparse-backend workload)
+    tab4_repeats: int
+    tab4_ours_budget: float
+    tab4_ours_init: tuple[int, int]
+    tab4_weibo_budget: int
+    tab4_weibo_init: int
+    tab4_gaspad_budget: int
+    tab4_gaspad_init: int
+    tab4_de_budget: int
+    tab4_de_pop: int
+    tab4_n_sections: int
     # per-table MSP knobs (the 36-dim charge pump needs a cheaper
     # gradient-polish budget than the 5-dim PA)
     tab2_msp_starts: int
@@ -102,6 +113,16 @@ FULL = Scale(
     tab3_gaspad_init=40,
     tab3_de_budget=600,
     tab3_de_pop=20,
+    tab4_repeats=8,
+    tab4_ours_budget=40.0,
+    tab4_ours_init=(16, 6),
+    tab4_weibo_budget=40,
+    tab4_weibo_init=15,
+    tab4_gaspad_budget=80,
+    tab4_gaspad_init=30,
+    tab4_de_budget=400,
+    tab4_de_pop=16,
+    tab4_n_sections=400,
     tab2_msp_starts=200,
     tab2_msp_polish=2,
     msp_starts=200,
@@ -141,6 +162,16 @@ SMOKE = Scale(
     tab3_gaspad_init=10,
     tab3_de_budget=60,
     tab3_de_pop=10,
+    tab4_repeats=2,
+    tab4_ours_budget=8.0,
+    tab4_ours_init=(10, 4),
+    tab4_weibo_budget=8,
+    tab4_weibo_init=6,
+    tab4_gaspad_budget=16,
+    tab4_gaspad_init=8,
+    tab4_de_budget=40,
+    tab4_de_pop=8,
+    tab4_n_sections=200,
     tab2_msp_starts=60,
     tab2_msp_polish=0,
     msp_starts=60,

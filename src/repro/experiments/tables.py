@@ -1,11 +1,13 @@
-"""Table experiments: the paper's Tables 1 and 2, plus the op-amp table.
+"""Table experiments: the paper's Tables 1 and 2, plus new workloads.
 
 ``tab1_power_amplifier`` and ``tab2_charge_pump`` run the full four-way
 comparison (ours / WEIBO / GASPAD / DE) with the paper's protocol at the
 requested :class:`~repro.experiments.scale.Scale` and return both the raw
 :class:`~repro.experiments.runners.ComparisonResult` objects and a
 formatted text table shaped like the paper's. ``tab3_opamp`` extends the
-same protocol to the frequency-domain two-stage op-amp workload.
+same protocol to the frequency-domain two-stage op-amp workload and
+``tab4_ladder`` to the hundreds-of-nodes interconnect ladder served by
+the sparse solver backend.
 """
 
 from __future__ import annotations
@@ -16,13 +18,19 @@ from ..baselines.de_opt import DEOptimizer
 from ..baselines.gaspad import GASPAD
 from ..baselines.weibo import WEIBO
 from ..circuits.charge_pump import ChargePumpProblem
+from ..circuits.ladder import InterconnectLadderProblem
 from ..circuits.opamp import OpAmpProblem
 from ..circuits.power_amplifier import PowerAmplifierProblem
 from ..core.mfbo import MFBOptimizer
 from .runners import AlgorithmSpec, compare_algorithms, format_table
 from .scale import Scale, current_scale
 
-__all__ = ["tab1_power_amplifier", "tab2_charge_pump", "tab3_opamp"]
+__all__ = [
+    "tab1_power_amplifier",
+    "tab2_charge_pump",
+    "tab3_opamp",
+    "tab4_ladder",
+]
 
 
 def _specs(
@@ -227,6 +235,61 @@ def tab3_opamp(
         ["Gain/dB", "UGF/MHz", "PM/deg", "P(mean)/mW", "P(median)/mW",
          "P(best)/mW", "P(worst)/mW", "Avg.#Sim", "#Success"],
         title=f"Table 3 (two-stage op-amp, scale={scale.name})",
+    )
+    return {"comparison": comparison, "rows": rows, "table": table,
+            "scale": scale.name}
+
+
+def tab4_ladder(
+    scale: Scale | None = None,
+    base_seed: int = 2019,
+    verbose: bool = False,
+) -> dict:
+    """Table 4: interconnect-ladder optimization comparison.
+
+    The large-circuit workload: every evaluation sweeps an RC ladder
+    with ``scale.tab4_n_sections`` sections (hundreds of MNA unknowns),
+    which the auto-selected sparse backend serves. The FOM (wire
+    capacitance + driver-area proxy) is minimized subject to far-end
+    bandwidth and DC-attenuation specs; rows report the best run's
+    bandwidth / attenuation / wire capacitance, FOM statistics, average
+    equivalent simulations and success count.
+    """
+    scale = scale if scale is not None else current_scale()
+    specs = _specs(
+        scale,
+        scale.tab4_ours_budget, scale.tab4_ours_init,
+        scale.tab4_weibo_budget, scale.tab4_weibo_init,
+        scale.tab4_gaspad_budget, scale.tab4_gaspad_init,
+        scale.tab4_de_budget, scale.tab4_de_pop,
+    )
+    comparison = compare_algorithms(
+        lambda: InterconnectLadderProblem(n_sections=scale.tab4_n_sections),
+        specs, scale.tab4_repeats, base_seed, verbose,
+    )
+    rows = {}
+    for name, aggregated in comparison.items():
+        stats = aggregated.objective_stats()
+        best_run = aggregated.best_run()
+        rows[name] = {
+            "BW/MHz": best_run.metrics.get("bandwidth_mhz", float("nan")),
+            "Att/dB": best_run.metrics.get("dc_attenuation_db", float("nan")),
+            "Cwire/pF": best_run.metrics.get("wire_cap_pf", float("nan")),
+            "FOM(mean)": stats["mean"],
+            "FOM(median)": stats["median"],
+            "FOM(best)": stats["best"],
+            "FOM(worst)": stats["worst"],
+            "Avg.#Sim": aggregated.avg_equivalent_sims,
+            "#Success": f"{aggregated.n_success}/{aggregated.n_repeats}",
+        }
+    table = format_table(
+        rows,
+        ["BW/MHz", "Att/dB", "Cwire/pF", "FOM(mean)", "FOM(median)",
+         "FOM(best)", "FOM(worst)", "Avg.#Sim", "#Success"],
+        title=(
+            f"Table 4 (interconnect ladder, "
+            f"N={scale.tab4_n_sections}, scale={scale.name})"
+        ),
     )
     return {"comparison": comparison, "rows": rows, "table": table,
             "scale": scale.name}

@@ -17,11 +17,11 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from .kernels import Kernel, RBF
+from .kernels import RBF, Kernel
 from .linalg import (
     CholeskyError,
-    chol_append,
     cho_solve,
+    chol_append,
     jitter_cholesky,
     log_det_from_chol,
     solve_lower,

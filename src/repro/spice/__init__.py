@@ -1,6 +1,19 @@
 """A small MNA circuit simulator: the paper's "simulation" substrate."""
 
-from .ac import ACSolution, assemble_ac_system, phase_margin, solve_ac, unity_gain_frequency
+from .ac import (
+    ACSolution,
+    assemble_ac_system,
+    phase_margin,
+    solve_ac,
+    unity_gain_frequency,
+)
+from .backend import (
+    SPARSE_AUTO_THRESHOLD,
+    DenseBackend,
+    SparseBackend,
+    StampPattern,
+    resolve_backend,
+)
 from .dc import ConvergenceError, DCSolution, solve_dc
 from .elements import (
     MOSFET,
@@ -8,6 +21,7 @@ from .elements import (
     VCVS,
     Capacitor,
     CurrentSource,
+    DenseStampAccumulator,
     Diode,
     Element,
     Inductor,
@@ -36,9 +50,15 @@ __all__ = [
     "SineWave",
     "PulseWave",
     "StampContext",
+    "DenseStampAccumulator",
     "solve_dc",
     "DCSolution",
     "ConvergenceError",
+    "DenseBackend",
+    "SparseBackend",
+    "StampPattern",
+    "resolve_backend",
+    "SPARSE_AUTO_THRESHOLD",
     "solve_ac",
     "ACSolution",
     "assemble_ac_system",

@@ -6,20 +6,23 @@ their ``j omega`` admittances) and the resulting complex system
 
 .. math:: (G + j \\omega C)\\, X(\\omega) = B
 
-is solved for all sweep frequencies in one batched ``numpy`` call. With
-the excitation phasor of the input source set to 1, a node phasor *is*
-the transfer function to that node, which is how the frequency-domain
-benchmark circuits (op-amp gain / unity-gain frequency / phase margin)
-are measured.
+is solved for all sweep frequencies through the selected linear-solver
+backend (:mod:`repro.spice.backend`). With the excitation phasor of the
+input source set to 1, a node phasor *is* the transfer function to that
+node, which is how the frequency-domain benchmark circuits (op-amp gain
+/ unity-gain frequency / phase margin) are measured.
 
 The assembled matrices are frequency independent, so a sweep costs one
-stamp pass plus a single ``(n_f, n, n)`` complex solve.
+stamp pass plus the per-frequency solves: the dense backend batches
+frequencies through LAPACK in bounded-memory chunks, the sparse backend
+factorizes the fixed CSC structure once per frequency.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .backend import resolve_backend
 from .dc import solve_dc
 from .elements import StampContext
 from .netlist import Circuit
@@ -63,6 +66,7 @@ def solve_ac(
     points_per_decade: int = 20,
     x_op: np.ndarray | None = None,
     gmin: float = 1e-12,
+    backend="auto",
 ) -> "ACSolution":
     """Sweep the linearized circuit over log-spaced frequencies.
 
@@ -79,6 +83,11 @@ def solve_ac(
     x_op:
         DC operating point to linearize at; computed with
         :func:`repro.spice.solve_dc` when omitted.
+    backend:
+        Linear-solver backend (``"dense"``, ``"sparse"``, ``"auto"`` or
+        an instance); shared with the operating-point solve. The dense
+        backend chunks the frequency batch so long sweeps of large
+        circuits stay within a bounded memory footprint.
     """
     if f_start <= 0:
         raise ValueError("f_start must be positive")
@@ -92,21 +101,15 @@ def solve_ac(
     frequencies = np.logspace(
         np.log10(f_start), np.log10(f_stop), n_points
     )
+    circuit._elaborate_if_needed()
+    solver = resolve_backend(circuit, backend)
     if x_op is None:
-        x_op = solve_dc(circuit, gmin=gmin).x
+        x_op = solve_dc(circuit, gmin=gmin, backend=solver).x
     else:
         x_op = np.asarray(x_op, dtype=float)
-    conductance, susceptance, rhs = assemble_ac_system(circuit, x_op, gmin)
     omega = 2.0 * np.pi * frequencies
-    system = (
-        conductance[None, :, :]
-        + 1j * omega[:, None, None] * susceptance[None, :, :]
-    )
-    stacked_rhs = np.broadcast_to(
-        rhs, (n_points, circuit.size)
-    )[:, :, None]
     try:
-        x = np.linalg.solve(system, stacked_rhs)[:, :, 0]
+        x = solver.solve_ac_sweep(omega, x_op, gmin)
     except np.linalg.LinAlgError as exc:
         raise np.linalg.LinAlgError(
             f"{circuit.name}: singular AC system — check for floating "

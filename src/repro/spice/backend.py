@@ -1,0 +1,308 @@
+"""Pluggable linear-solver backends for the MNA engine.
+
+Every analysis in :mod:`repro.spice` reduces to solving linear systems
+with the *same sparsity structure*: the Newton system ``J dx = -r``
+(DC and transient) and the small-signal sweep ``(G + j omega C) X = B``
+(AC). A backend owns that structure for one circuit and solves those
+systems:
+
+* :class:`DenseBackend` — assembles dense matrices and calls
+  ``numpy.linalg.solve``; bit-compatible with the historical behavior
+  and fastest for small netlists (a few dozen unknowns). The AC sweep is
+  chunked so a long frequency grid never materializes the full
+  ``(n_f, n, n)`` tensor at once.
+* :class:`SparseBackend` — performs the symbolic analysis once per
+  circuit: elements declare their stamp footprint via
+  :meth:`~repro.spice.elements.Element.stamp_pattern`, the union pattern
+  is frozen into a CSC structure, and every subsequent assembly only
+  writes a flat value array. Systems are factorized with SuperLU
+  (``scipy.sparse.linalg.splu``); the numeric factorization is cached
+  and reused whenever the assembled values are unchanged — which makes
+  linear circuits factor once per transient run instead of once per
+  Newton iteration.
+
+``resolve_backend(circuit, "auto")`` switches to the sparse backend at
+:data:`SPARSE_AUTO_THRESHOLD` unknowns, the empirical dense/sparse
+crossover for these Python-assembled systems (see
+``benchmarks/test_substrate_sparse.py``).
+
+Backends raise :class:`numpy.linalg.LinAlgError` on singular systems
+regardless of the underlying solver, so the analyses translate failures
+uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sparse
+from scipy.sparse.linalg import splu as _splu
+
+from .elements import DenseStampAccumulator, StampContext
+
+__all__ = [
+    "StampPattern",
+    "DenseBackend",
+    "SparseBackend",
+    "resolve_backend",
+    "SPARSE_AUTO_THRESHOLD",
+]
+
+#: Unknown count at which ``backend="auto"`` switches dense -> sparse.
+SPARSE_AUTO_THRESHOLD = 128
+
+#: Peak bytes one dense AC frequency chunk may allocate for its
+#: ``(chunk, n, n)`` complex system (the chunk size is derived from it).
+AC_CHUNK_BYTES = 32 * 1024 * 1024
+
+
+class StampPattern:
+    """Union sparsity pattern of a circuit's stamps (symbolic analysis).
+
+    Elements declare coordinates through :meth:`add` /
+    :meth:`add_pairwise`; ground indices (negative) are ignored. The
+    collected set is frozen into a CSC structure by
+    :meth:`csc_structure`, which also yields the slot map value
+    accumulators use to scatter numeric stamps in O(1).
+    """
+
+    def __init__(self, size: int):
+        self.size = int(size)
+        self._coords: set[tuple[int, int]] = set()
+
+    def add(self, row: int, col: int) -> None:
+        """Declare one matrix coordinate (no-op for ground indices)."""
+        if row >= 0 and col >= 0:
+            self._coords.add((row, col))
+
+    def add_pairwise(self, i: int, j: int) -> None:
+        """Declare the standard two-terminal conductance block."""
+        self.add(i, i)
+        self.add(i, j)
+        self.add(j, i)
+        self.add(j, j)
+
+    @property
+    def nnz(self) -> int:
+        """Number of structurally nonzero entries."""
+        return len(self._coords)
+
+    def csc_structure(self) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Freeze the pattern into ``(indices, indptr, slot_of)``.
+
+        ``indices``/``indptr`` are the CSC row-index and column-pointer
+        arrays for the declared coordinates (sorted by column, then
+        row); ``slot_of`` maps ``(row, col)`` to the position in the CSC
+        data array.
+        """
+        coords = sorted(self._coords, key=lambda rc: (rc[1], rc[0]))
+        indices = np.array([row for row, _ in coords], dtype=np.int32)
+        counts = np.zeros(self.size, dtype=np.int32)
+        for _, col in coords:
+            counts[col] += 1
+        indptr = np.zeros(self.size + 1, dtype=np.int32)
+        np.cumsum(counts, out=indptr[1:])
+        slot_of = {coord: slot for slot, coord in enumerate(coords)}
+        return indices, indptr, slot_of
+
+
+class _SparseStampAccumulator:
+    """Scatters ``add(row, col, value)`` into a flat CSC data array."""
+
+    __slots__ = ("data", "slot_of")
+
+    def __init__(self, data: np.ndarray, slot_of: dict):
+        self.data = data
+        self.slot_of = slot_of
+
+    def add(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.data[self.slot_of[(row, col)]] += value
+
+
+class DenseBackend:
+    """Dense MNA assembly + LAPACK solves (the historical behavior)."""
+
+    name = "dense"
+
+    def __init__(self, circuit):
+        circuit._elaborate_if_needed()
+        self.circuit = circuit
+        self.n = circuit.size
+
+    # ------------------------------------------------------------------
+    def assemble(
+        self, x: np.ndarray, ctx: StampContext
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stamp the Newton system; returns ``(jacobian, residual)``."""
+        jacobian = np.zeros((self.n, self.n))
+        residual = np.zeros(self.n)
+        acc = DenseStampAccumulator(jacobian)
+        for element in self.circuit.elements:
+            element.stamp_values(acc, residual, x, ctx)
+        return jacobian, residual
+
+    def solve_newton(self, x: np.ndarray, ctx: StampContext) -> np.ndarray:
+        """Assemble at ``x`` and return the Newton update ``-J^-1 r``."""
+        jacobian, residual = self.assemble(x, ctx)
+        return np.linalg.solve(jacobian, -residual)
+
+    # ------------------------------------------------------------------
+    def assemble_ac(
+        self, x_op: np.ndarray, gmin: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stamp the small-signal system; returns dense ``(G, C, B)``."""
+        conductance = np.zeros((self.n, self.n))
+        susceptance = np.zeros((self.n, self.n))
+        rhs = np.zeros(self.n, dtype=complex)
+        ctx = StampContext(mode="ac", gmin=gmin)
+        g_acc = DenseStampAccumulator(conductance)
+        c_acc = DenseStampAccumulator(susceptance)
+        for element in self.circuit.elements:
+            element.ac_stamp_values(g_acc, c_acc, rhs, x_op, ctx)
+        return conductance, susceptance, rhs
+
+    def solve_ac_sweep(
+        self, omega: np.ndarray, x_op: np.ndarray, gmin: float
+    ) -> np.ndarray:
+        """Solve ``(G + j w C) X = B`` for every angular frequency.
+
+        Frequencies are batched through LAPACK in chunks sized so the
+        ``(chunk, n, n)`` complex tensor stays below
+        :data:`AC_CHUNK_BYTES` — a 10k-point sweep of a large circuit no
+        longer allocates the full frequency batch at once. Each matrix
+        in a batch is factorized independently, so chunking does not
+        change the numerics.
+        """
+        conductance, susceptance, rhs = self.assemble_ac(x_op, gmin)
+        n = self.n
+        chunk = max(1, int(AC_CHUNK_BYTES // max(1, 16 * n * n)))
+        x = np.empty((omega.size, n), dtype=complex)
+        for start in range(0, omega.size, chunk):
+            w = omega[start : start + chunk]
+            system = (
+                conductance[None, :, :]
+                + 1j * w[:, None, None] * susceptance[None, :, :]
+            )
+            stacked_rhs = np.broadcast_to(rhs, (w.size, n))[:, :, None]
+            x[start : start + chunk] = np.linalg.solve(system, stacked_rhs)[:, :, 0]
+        return x
+
+
+class SparseBackend:
+    """CSC assembly + SuperLU solves with a frozen symbolic structure.
+
+    The stamp pattern (and with it the CSC ``indices``/``indptr`` arrays
+    and the coordinate->slot map) is computed once in the constructor;
+    every assembly afterwards is a flat value scatter. The most recent
+    Newton factorization is kept and reused verbatim when the assembled
+    values are unchanged, so linear circuits pay for one factorization
+    per (dt, method) rather than one per timepoint.
+    """
+
+    name = "sparse"
+
+    def __init__(self, circuit):
+        circuit._elaborate_if_needed()
+        self.circuit = circuit
+        self.n = circuit.size
+        pattern = StampPattern(self.n)
+        for element in circuit.elements:
+            element.stamp_pattern(pattern)
+        self._indices, self._indptr, self._slot_of = pattern.csc_structure()
+        self.nnz = pattern.nnz
+        self._lu = None
+        self._lu_data: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _matrix(self, data: np.ndarray) -> "_sparse.csc_matrix":
+        return _sparse.csc_matrix(
+            (data, self._indices, self._indptr), shape=(self.n, self.n)
+        )
+
+    @staticmethod
+    def _factorize(matrix):
+        """SuperLU factorization, singularity mapped to ``LinAlgError``."""
+        try:
+            return _splu(matrix)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            raise np.linalg.LinAlgError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    def assemble(
+        self, x: np.ndarray, ctx: StampContext
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stamp the Newton system; returns ``(csc_data, residual)``."""
+        data = np.zeros(self.nnz)
+        residual = np.zeros(self.n)
+        acc = _SparseStampAccumulator(data, self._slot_of)
+        for element in self.circuit.elements:
+            element.stamp_values(acc, residual, x, ctx)
+        return data, residual
+
+    def solve_newton(self, x: np.ndarray, ctx: StampContext) -> np.ndarray:
+        """Assemble at ``x`` and return the Newton update ``-J^-1 r``."""
+        data, residual = self.assemble(x, ctx)
+        if self._lu is None or not np.array_equal(data, self._lu_data):
+            self._lu = self._factorize(self._matrix(data))
+            self._lu_data = data
+        return self._lu.solve(-residual)
+
+    # ------------------------------------------------------------------
+    def assemble_ac(
+        self, x_op: np.ndarray, gmin: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stamp the small-signal system; returns ``(g_data, c_data, B)``.
+
+        ``g_data``/``c_data`` are value arrays over the *shared* CSC
+        structure, so the frequency-dependent system is the cheap axpy
+        ``g_data + j w c_data`` — no restamping across the sweep.
+        """
+        g_data = np.zeros(self.nnz)
+        c_data = np.zeros(self.nnz)
+        rhs = np.zeros(self.n, dtype=complex)
+        ctx = StampContext(mode="ac", gmin=gmin)
+        g_acc = _SparseStampAccumulator(g_data, self._slot_of)
+        c_acc = _SparseStampAccumulator(c_data, self._slot_of)
+        for element in self.circuit.elements:
+            element.ac_stamp_values(g_acc, c_acc, rhs, x_op, ctx)
+        return g_data, c_data, rhs
+
+    def solve_ac_sweep(
+        self, omega: np.ndarray, x_op: np.ndarray, gmin: float
+    ) -> np.ndarray:
+        """Solve ``(G + j w C) X = B`` for every angular frequency.
+
+        One sparse factorization per frequency over the fixed structure;
+        memory stays O(nnz) regardless of the sweep length.
+        """
+        g_data, c_data, rhs = self.assemble_ac(x_op, gmin)
+        x = np.empty((omega.size, self.n), dtype=complex)
+        for k, w in enumerate(omega):
+            lu = self._factorize(self._matrix(g_data + (1j * w) * c_data))
+            x[k] = lu.solve(rhs)
+        return x
+
+
+def resolve_backend(circuit, backend="auto"):
+    """Return the solver backend to use for ``circuit``.
+
+    ``backend`` may be ``"dense"``, ``"sparse"``, ``"auto"`` (sparse at
+    :data:`SPARSE_AUTO_THRESHOLD` unknowns and beyond), or an already
+    constructed backend instance for ``circuit`` — passing an instance
+    amortizes the symbolic analysis across repeated solves of the same
+    netlist.
+    """
+    if not isinstance(backend, str):
+        if getattr(backend, "circuit", None) is not circuit:
+            raise ValueError("backend instance was built for a different circuit")
+        return backend
+    if backend == "auto":
+        backend = "sparse" if circuit.size >= SPARSE_AUTO_THRESHOLD else "dense"
+    if backend == "dense":
+        return DenseBackend(circuit)
+    if backend == "sparse":
+        return SparseBackend(circuit)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'dense', 'sparse', 'auto' "
+        "or a backend instance"
+    )

@@ -1,7 +1,9 @@
 """DC operating-point analysis: damped Newton with gmin stepping.
 
-The solver assembles the full nonlinear MNA residual/Jacobian from the
-element stamps and iterates Newton with an update-magnitude damper. If
+The solver assembles the nonlinear MNA residual/Jacobian from the
+element stamps through a pluggable linear-solver backend (dense LAPACK
+or sparse SuperLU, see :mod:`repro.spice.backend`) and iterates Newton
+with an update-magnitude damper. If
 plain Newton fails, gmin stepping retries with a large junction
 conductance that is relaxed decade by decade — the standard SPICE
 continuation strategy.
@@ -11,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import resolve_backend
 from .elements import StampContext
 from .netlist import Circuit
 
@@ -40,6 +43,7 @@ class DCSolution:
 
 def _newton(
     circuit: Circuit,
+    solver,
     x0: np.ndarray,
     ctx: StampContext,
     max_iterations: int,
@@ -48,15 +52,10 @@ def _newton(
     max_step: float,
 ) -> tuple[np.ndarray, int]:
     """Damped Newton iteration; returns the solution and iteration count."""
-    n = circuit.size
     x = x0.copy()
     for iteration in range(1, max_iterations + 1):
-        jacobian = np.zeros((n, n))
-        residual = np.zeros(n)
-        for element in circuit.elements:
-            element.stamp(jacobian, residual, x, ctx)
         try:
-            delta = np.linalg.solve(jacobian, -residual)
+            delta = solver.solve_newton(x, ctx)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"{circuit.name}: singular MNA Jacobian "
@@ -82,6 +81,7 @@ def solve_dc(
     reltol: float = 1e-6,
     max_step: float = 1.0,
     gmin: float = 1e-12,
+    backend="auto",
 ) -> DCSolution:
     """Find the DC operating point.
 
@@ -89,18 +89,24 @@ def solve_dc(
     from 1e-2 S down to the target ``gmin``, warm-starting each level
     with the previous solution.
 
+    ``backend`` selects the linear-solver backend (``"dense"``,
+    ``"sparse"``, ``"auto"`` or an instance built by
+    :func:`repro.spice.backend.resolve_backend`); ``"auto"`` switches to
+    the sparse backend on large circuits.
+
     Raises
     ------
     ConvergenceError
         If even gmin stepping fails.
     """
     circuit._elaborate_if_needed()
+    solver = resolve_backend(circuit, backend)
     n = circuit.size
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
     ctx = StampContext(mode="dc", gmin=gmin)
     try:
         solution, iterations = _newton(
-            circuit, x, ctx, max_iterations, abstol, reltol, max_step
+            circuit, solver, x, ctx, max_iterations, abstol, reltol, max_step
         )
         return DCSolution(circuit, solution, iterations)
     except ConvergenceError:
@@ -111,7 +117,7 @@ def solve_dc(
     for level in gmin_ladder:
         ctx = StampContext(mode="dc", gmin=max(level, gmin))
         x, iterations = _newton(
-            circuit, x, ctx, max_iterations, abstol, reltol, max_step
+            circuit, solver, x, ctx, max_iterations, abstol, reltol, max_step
         )
         total_iterations += iterations
         if level <= gmin:

@@ -1,11 +1,27 @@
 """Circuit elements and their MNA stamps.
 
-Every element implements ``stamp(jacobian, residual, x, ctx)`` which adds
-its contribution to the Newton system ``J dx = -r`` at the candidate
-solution ``x``. The residual convention is Kirchhoff's current law per
-non-ground node — ``r[k]`` accumulates the current *leaving* node ``k`` —
-plus one branch-voltage equation per voltage-defined element (voltage
-sources and inductors).
+Every element contributes to the Newton system ``J dx = -r`` at the
+candidate solution ``x`` through a *pattern/values* split:
+
+* :meth:`Element.stamp_pattern` declares, once per circuit, every
+  ``(row, col)`` matrix coordinate the element may ever touch — across
+  DC, transient *and* AC analyses. Solver backends use it to build a
+  fixed sparsity structure (symbolic analysis) that is reused for every
+  subsequent numeric assembly.
+* :meth:`Element.stamp_values` adds the numeric Jacobian/residual
+  contribution at ``x`` into an accumulator implementing
+  ``add(row, col, value)`` (negative indices denote ground and are
+  ignored). :meth:`Element.ac_stamp_values` does the same for the
+  small-signal ``G``/``C`` matrices and excitation phasor.
+
+The legacy dense entry points ``stamp(jacobian, residual, x, ctx)`` and
+``ac_stamp(G, C, rhs, x_op, ctx)`` are thin shims that route the same
+value stamps into dense matrices and remain bit-compatible.
+
+The residual convention is Kirchhoff's current law per non-ground node —
+``r[k]`` accumulates the current *leaving* node ``k`` — plus one
+branch-voltage equation per voltage-defined element (voltage sources and
+inductors).
 
 Reactive elements use companion models: backward-Euler for the first
 transient step and startup, trapezoidal afterwards, with per-element
@@ -20,6 +36,7 @@ import numpy as np
 
 __all__ = [
     "StampContext",
+    "DenseStampAccumulator",
     "Element",
     "Resistor",
     "Capacitor",
@@ -82,6 +99,26 @@ def _limited_exp(arg: np.ndarray | float):
     return peak * (1.0 + (arg - _EXP_LIMIT)), peak
 
 
+class DenseStampAccumulator:
+    """Routes ``add(row, col, value)`` stamps into a dense matrix.
+
+    The dense solver backend (and the legacy :meth:`Element.stamp` /
+    :meth:`Element.ac_stamp` shims) use this adapter so every element can
+    express its numeric stamps once, against the accumulator protocol,
+    regardless of the matrix storage the active backend uses.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray):
+        self.matrix = matrix
+
+    def add(self, row: int, col: int, value: float) -> None:
+        """Accumulate ``value`` at ``(row, col)``; ground (< 0) is a no-op."""
+        if row >= 0 and col >= 0:
+            self.matrix[row, col] += value
+
+
 class Element:
     """Base class for all circuit elements."""
 
@@ -97,6 +134,78 @@ class Element:
         self.branch_index: int | None = None
 
     # ------------------------------------------------------------------
+    def stamp_pattern(self, pattern) -> None:
+        """Declare every matrix coordinate this element may ever touch.
+
+        ``pattern`` implements ``add(row, col)`` (and the convenience
+        ``add_pairwise(i, j)`` for the standard conductance block) and
+        ignores negative (ground) indices. The declaration must be the
+        *union* over all analyses and internal states — e.g. a MOSFET
+        declares both the normal and the drain/source-swapped footprint —
+        so a backend can freeze the structure once per circuit.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} implements only the legacy dense "
+            "stamp API; implement stamp_pattern/stamp_values to enable "
+            "the sparse backend, or solve with backend='dense'"
+        )
+
+    def stamp_values(
+        self,
+        acc,
+        residual: np.ndarray,
+        x: np.ndarray,
+        ctx: StampContext,
+    ) -> None:
+        """Add the Newton Jacobian/residual contribution at ``x``.
+
+        ``acc`` implements ``add(row, col, value)`` over coordinates
+        declared by :meth:`stamp_pattern`; ``residual`` is always a dense
+        vector. For subclasses that predate the pattern/values split and
+        only override :meth:`stamp`, the base implementation routes a
+        dense accumulator through that legacy method, so such elements
+        keep working on the dense backend unchanged.
+        """
+        if (
+            type(self).stamp is not Element.stamp
+            and isinstance(acc, DenseStampAccumulator)
+        ):
+            self.stamp(acc.matrix, residual, x, ctx)
+            return
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement stamp_values"
+        )
+
+    def ac_stamp_values(
+        self,
+        g_acc,
+        c_acc,
+        rhs: np.ndarray,
+        x_op: np.ndarray,
+        ctx: StampContext,
+    ) -> None:
+        """Stamp the small-signal system linearized at ``x_op``.
+
+        The AC MNA system is ``(G + j omega C) X = B``: elements add their
+        frequency-independent conductances to ``g_acc`` (``G``), the
+        omega-proportional part to ``c_acc`` (``C``) and their AC
+        excitation phasor to the complex ``rhs`` (``B``). Nonlinear devices
+        stamp the conductances of their linearization at the DC operating
+        point ``x_op``. Legacy subclasses overriding only
+        :meth:`ac_stamp` are routed through it on the dense backend.
+        """
+        if (
+            type(self).ac_stamp is not Element.ac_stamp
+            and isinstance(g_acc, DenseStampAccumulator)
+            and isinstance(c_acc, DenseStampAccumulator)
+        ):
+            self.ac_stamp(g_acc.matrix, c_acc.matrix, rhs, x_op, ctx)
+            return
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support AC small-signal analysis"
+        )
+
+    # ------------------------------------------------------------------
     def stamp(
         self,
         jacobian: np.ndarray,
@@ -104,7 +213,8 @@ class Element:
         x: np.ndarray,
         ctx: StampContext,
     ) -> None:
-        raise NotImplementedError
+        """Dense-matrix shim over :meth:`stamp_values`."""
+        self.stamp_values(DenseStampAccumulator(jacobian), residual, x, ctx)
 
     def ac_stamp(
         self,
@@ -114,17 +224,13 @@ class Element:
         x_op: np.ndarray,
         ctx: StampContext,
     ) -> None:
-        """Stamp the small-signal system linearized at ``x_op``.
-
-        The AC MNA system is ``(G + j omega C) X = B``: elements add their
-        frequency-independent conductances to ``conductance`` (``G``), the
-        omega-proportional part to ``susceptance`` (``C``) and their AC
-        excitation phasor to the complex ``rhs`` (``B``). Nonlinear devices
-        stamp the conductances of their linearization at the DC operating
-        point ``x_op``.
-        """
-        raise NotImplementedError(
-            f"{type(self).__name__} does not support AC small-signal analysis"
+        """Dense-matrix shim over :meth:`ac_stamp_values`."""
+        self.ac_stamp_values(
+            DenseStampAccumulator(conductance),
+            DenseStampAccumulator(susceptance),
+            rhs,
+            x_op,
+            ctx,
         )
 
     def update_state(self, x: np.ndarray, ctx: StampContext) -> None:
@@ -148,11 +254,6 @@ class Element:
     def _add(vec: np.ndarray, idx: int, value: float) -> None:
         if idx >= 0:
             vec[idx] += value
-
-    @staticmethod
-    def _add_j(mat: np.ndarray, row: int, col: int, value: float) -> None:
-        if row >= 0 and col >= 0:
-            mat[row, col] += value
 
 
 # ----------------------------------------------------------------------
@@ -234,24 +335,28 @@ class Resistor(Element):
         super().__init__(name, (n1, n2))
         self.resistance = float(resistance)
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2 = self.node_indices
+        pattern.add_pairwise(i1, i2)
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2 = self.node_indices
         g = 1.0 / self.resistance
         current = g * (self._v(x, i1) - self._v(x, i2))
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, i1, g)
-        self._add_j(jacobian, i1, i2, -g)
-        self._add_j(jacobian, i2, i1, -g)
-        self._add_j(jacobian, i2, i2, g)
+        acc.add(i1, i1, g)
+        acc.add(i1, i2, -g)
+        acc.add(i2, i1, -g)
+        acc.add(i2, i2, g)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         i1, i2 = self.node_indices
         g = 1.0 / self.resistance
-        self._add_j(conductance, i1, i1, g)
-        self._add_j(conductance, i1, i2, -g)
-        self._add_j(conductance, i2, i1, -g)
-        self._add_j(conductance, i2, i2, g)
+        g_acc.add(i1, i1, g)
+        g_acc.add(i1, i2, -g)
+        g_acc.add(i2, i1, -g)
+        g_acc.add(i2, i2, g)
 
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.resistance:g}"
@@ -269,7 +374,11 @@ class Capacitor(Element):
     def _voltage(self, x, i1, i2) -> float:
         return self._v(x, i1) - self._v(x, i2)
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2 = self.node_indices
+        pattern.add_pairwise(i1, i2)
+
+    def stamp_values(self, acc, residual, x, ctx):
         if ctx.mode == "dc":
             return
         i1, i2 = self.node_indices
@@ -284,10 +393,10 @@ class Capacitor(Element):
             current = geq * (v_now - v_prev)
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, i1, geq)
-        self._add_j(jacobian, i1, i2, -geq)
-        self._add_j(jacobian, i2, i1, -geq)
-        self._add_j(jacobian, i2, i2, geq)
+        acc.add(i1, i1, geq)
+        acc.add(i1, i2, -geq)
+        acc.add(i2, i1, -geq)
+        acc.add(i2, i2, geq)
 
     def update_state(self, x, ctx):
         i1, i2 = self.node_indices
@@ -302,14 +411,14 @@ class Capacitor(Element):
                 self.capacitance / ctx.dt * (v_now - v_prev)
             )
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         # Admittance j omega C: pure susceptance.
         i1, i2 = self.node_indices
         c = self.capacitance
-        self._add_j(susceptance, i1, i1, c)
-        self._add_j(susceptance, i1, i2, -c)
-        self._add_j(susceptance, i2, i1, -c)
-        self._add_j(susceptance, i2, i2, c)
+        c_acc.add(i1, i1, c)
+        c_acc.add(i1, i2, -c)
+        c_acc.add(i2, i1, -c)
+        c_acc.add(i2, i2, c)
 
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.capacitance:g}"
@@ -326,20 +435,29 @@ class Inductor(Element):
         super().__init__(name, (n1, n2))
         self.inductance = float(inductance)
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2 = self.node_indices
+        bi = self.branch_index
+        pattern.add(i1, bi)
+        pattern.add(i2, bi)
+        pattern.add(bi, i1)
+        pattern.add(bi, i2)
+        pattern.add(bi, bi)
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2 = self.node_indices
         bi = self.branch_index
         current = float(x[bi])
         # KCL: branch current leaves n1, enters n2.
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, bi, 1.0)
-        self._add_j(jacobian, i2, bi, -1.0)
+        acc.add(i1, bi, 1.0)
+        acc.add(i2, bi, -1.0)
         v_now = self._v(x, i1) - self._v(x, i2)
         if ctx.mode == "dc":
             residual[bi] += v_now  # v = 0 (DC short)
-            self._add_j(jacobian, bi, i1, 1.0)
-            self._add_j(jacobian, bi, i2, -1.0)
+            acc.add(bi, i1, 1.0)
+            acc.add(bi, i2, -1.0)
             return
         i_prev = float(ctx.x_prev[bi])
         if ctx.method == "trap":
@@ -349,19 +467,19 @@ class Inductor(Element):
         else:
             req = self.inductance / ctx.dt
             residual[bi] += v_now - req * (current - i_prev)
-        self._add_j(jacobian, bi, i1, 1.0)
-        self._add_j(jacobian, bi, i2, -1.0)
-        jacobian[bi, bi] += -req
+        acc.add(bi, i1, 1.0)
+        acc.add(bi, i2, -1.0)
+        acc.add(bi, bi, -req)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         # Branch equation v1 - v2 - j omega L i = 0.
         i1, i2 = self.node_indices
         bi = self.branch_index
-        self._add_j(conductance, i1, bi, 1.0)
-        self._add_j(conductance, i2, bi, -1.0)
-        self._add_j(conductance, bi, i1, 1.0)
-        self._add_j(conductance, bi, i2, -1.0)
-        susceptance[bi, bi] -= self.inductance
+        g_acc.add(i1, bi, 1.0)
+        g_acc.add(i2, bi, -1.0)
+        g_acc.add(bi, i1, 1.0)
+        g_acc.add(bi, i2, -1.0)
+        c_acc.add(bi, bi, -self.inductance)
 
     def card(self):
         return f"{self.name} {self.nodes[0]} {self.nodes[1]} {self.inductance:g}"
@@ -400,25 +518,33 @@ class VoltageSource(Element):
             return float(self.waveform(0.0))
         return self.dc
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2 = self.node_indices
+        bi = self.branch_index
+        pattern.add(i1, bi)
+        pattern.add(i2, bi)
+        pattern.add(bi, i1)
+        pattern.add(bi, i2)
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2 = self.node_indices
         bi = self.branch_index
         current = float(x[bi])
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, bi, 1.0)
-        self._add_j(jacobian, i2, bi, -1.0)
+        acc.add(i1, bi, 1.0)
+        acc.add(i2, bi, -1.0)
         residual[bi] += self._v(x, i1) - self._v(x, i2) - self.value(ctx)
-        self._add_j(jacobian, bi, i1, 1.0)
-        self._add_j(jacobian, bi, i2, -1.0)
+        acc.add(bi, i1, 1.0)
+        acc.add(bi, i2, -1.0)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         i1, i2 = self.node_indices
         bi = self.branch_index
-        self._add_j(conductance, i1, bi, 1.0)
-        self._add_j(conductance, i2, bi, -1.0)
-        self._add_j(conductance, bi, i1, 1.0)
-        self._add_j(conductance, bi, i2, -1.0)
+        g_acc.add(i1, bi, 1.0)
+        g_acc.add(i2, bi, -1.0)
+        g_acc.add(bi, i1, 1.0)
+        g_acc.add(bi, i2, -1.0)
         rhs[bi] += self.ac_value
 
     def card(self):
@@ -451,13 +577,16 @@ class CurrentSource(Element):
             return float(self.waveform(t))
         return self.dc
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        pass  # pure source: residual/rhs only, no matrix entries
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2 = self.node_indices
         current = self.value(ctx)
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         # KCL convention: residual accumulates current leaving the node,
         # so the source phasor enters the rhs with the opposite sign.
         i1, i2 = self.node_indices
@@ -479,32 +608,42 @@ class VCVS(Element):
         super().__init__(name, (n_pos, n_neg, ctrl_pos, ctrl_neg))
         self.gain = float(gain)
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2, c1, c2 = self.node_indices
+        bi = self.branch_index
+        pattern.add(i1, bi)
+        pattern.add(i2, bi)
+        pattern.add(bi, i1)
+        pattern.add(bi, i2)
+        pattern.add(bi, c1)
+        pattern.add(bi, c2)
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2, c1, c2 = self.node_indices
         bi = self.branch_index
         current = float(x[bi])
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, bi, 1.0)
-        self._add_j(jacobian, i2, bi, -1.0)
+        acc.add(i1, bi, 1.0)
+        acc.add(i2, bi, -1.0)
         residual[bi] += (
             self._v(x, i1) - self._v(x, i2)
             - self.gain * (self._v(x, c1) - self._v(x, c2))
         )
-        self._add_j(jacobian, bi, i1, 1.0)
-        self._add_j(jacobian, bi, i2, -1.0)
-        self._add_j(jacobian, bi, c1, -self.gain)
-        self._add_j(jacobian, bi, c2, self.gain)
+        acc.add(bi, i1, 1.0)
+        acc.add(bi, i2, -1.0)
+        acc.add(bi, c1, -self.gain)
+        acc.add(bi, c2, self.gain)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         i1, i2, c1, c2 = self.node_indices
         bi = self.branch_index
-        self._add_j(conductance, i1, bi, 1.0)
-        self._add_j(conductance, i2, bi, -1.0)
-        self._add_j(conductance, bi, i1, 1.0)
-        self._add_j(conductance, bi, i2, -1.0)
-        self._add_j(conductance, bi, c1, -self.gain)
-        self._add_j(conductance, bi, c2, self.gain)
+        g_acc.add(i1, bi, 1.0)
+        g_acc.add(i2, bi, -1.0)
+        g_acc.add(bi, i1, 1.0)
+        g_acc.add(bi, i2, -1.0)
+        g_acc.add(bi, c1, -self.gain)
+        g_acc.add(bi, c2, self.gain)
 
     def card(self):
         return f"{self.name} {' '.join(self.nodes)} {self.gain:g}"
@@ -518,24 +657,31 @@ class VCCS(Element):
         super().__init__(name, (n_pos, n_neg, ctrl_pos, ctrl_neg))
         self.transconductance = float(transconductance)
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2, c1, c2 = self.node_indices
+        pattern.add(i1, c1)
+        pattern.add(i1, c2)
+        pattern.add(i2, c1)
+        pattern.add(i2, c2)
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2, c1, c2 = self.node_indices
         gm = self.transconductance
         current = gm * (self._v(x, c1) - self._v(x, c2))
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, c1, gm)
-        self._add_j(jacobian, i1, c2, -gm)
-        self._add_j(jacobian, i2, c1, -gm)
-        self._add_j(jacobian, i2, c2, gm)
+        acc.add(i1, c1, gm)
+        acc.add(i1, c2, -gm)
+        acc.add(i2, c1, -gm)
+        acc.add(i2, c2, gm)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         i1, i2, c1, c2 = self.node_indices
         gm = self.transconductance
-        self._add_j(conductance, i1, c1, gm)
-        self._add_j(conductance, i1, c2, -gm)
-        self._add_j(conductance, i2, c1, -gm)
-        self._add_j(conductance, i2, c2, gm)
+        g_acc.add(i1, c1, gm)
+        g_acc.add(i1, c2, -gm)
+        g_acc.add(i2, c1, -gm)
+        g_acc.add(i2, c2, gm)
 
     def card(self):
         return f"{self.name} {' '.join(self.nodes)} {self.transconductance:g}"
@@ -564,7 +710,11 @@ class Diode(Element):
         conductance = self.saturation_current * derivative / nvt
         return current, conductance
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        i1, i2 = self.node_indices
+        pattern.add_pairwise(i1, i2)
+
+    def stamp_values(self, acc, residual, x, ctx):
         i1, i2 = self.node_indices
         v = self._v(x, i1) - self._v(x, i2)
         current, g = self.current_and_conductance(v)
@@ -572,21 +722,21 @@ class Diode(Element):
         current += ctx.gmin * v
         self._add(residual, i1, current)
         self._add(residual, i2, -current)
-        self._add_j(jacobian, i1, i1, g)
-        self._add_j(jacobian, i1, i2, -g)
-        self._add_j(jacobian, i2, i1, -g)
-        self._add_j(jacobian, i2, i2, g)
+        acc.add(i1, i1, g)
+        acc.add(i1, i2, -g)
+        acc.add(i2, i1, -g)
+        acc.add(i2, i2, g)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         # Small-signal junction conductance at the DC operating point.
         i1, i2 = self.node_indices
         v = self._v(x_op, i1) - self._v(x_op, i2)
         _, g = self.current_and_conductance(v)
         g += ctx.gmin
-        self._add_j(conductance, i1, i1, g)
-        self._add_j(conductance, i1, i2, -g)
-        self._add_j(conductance, i2, i1, -g)
-        self._add_j(conductance, i2, i2, g)
+        g_acc.add(i1, i1, g)
+        g_acc.add(i1, i2, -g)
+        g_acc.add(i2, i1, -g)
+        g_acc.add(i2, i2, g)
 
     def card(self):
         return (
@@ -675,7 +825,15 @@ class MOSFET(Element):
         ids, gm, gds = self._ids(vgs, vds)
         return ids, gm, gds, swapped
 
-    def stamp(self, jacobian, residual, x, ctx):
+    def stamp_pattern(self, pattern):
+        # Union over the normal and drain/source-swapped footprints: the
+        # effective drain/source roles may flip between Newton iterations.
+        d_idx, g_idx, s_idx = self.node_indices
+        pattern.add(d_idx, g_idx)
+        pattern.add(s_idx, g_idx)
+        pattern.add_pairwise(d_idx, s_idx)
+
+    def stamp_values(self, acc, residual, x, ctx):
         d_idx, g_idx, s_idx = self.node_indices
         ids, gm, gds, swapped = self._evaluate(x)
         sign = -1.0 if self.polarity == "pmos" else 1.0
@@ -690,29 +848,29 @@ class MOSFET(Element):
         # In the mirrored/swapped frame, d(current)/d(node voltage) picks
         # up the same sign twice (once for the current sign, once for the
         # mirrored voltages), so the conductances stamp positively.
-        self._add_j(jacobian, eff_d, g_idx, gm)
-        self._add_j(jacobian, eff_d, eff_d, gds)
-        self._add_j(jacobian, eff_d, eff_s, -(gm + gds))
-        self._add_j(jacobian, eff_s, g_idx, -gm)
-        self._add_j(jacobian, eff_s, eff_d, -gds)
-        self._add_j(jacobian, eff_s, eff_s, gm + gds)
+        acc.add(eff_d, g_idx, gm)
+        acc.add(eff_d, eff_d, gds)
+        acc.add(eff_d, eff_s, -(gm + gds))
+        acc.add(eff_s, g_idx, -gm)
+        acc.add(eff_s, eff_d, -gds)
+        acc.add(eff_s, eff_s, gm + gds)
         # gmin across drain-source for convergence
         v_ds_real = self._v(x, d_idx) - self._v(x, s_idx)
         leak = ctx.gmin * v_ds_real
         self._add(residual, d_idx, leak)
         self._add(residual, s_idx, -leak)
-        self._add_j(jacobian, d_idx, d_idx, ctx.gmin)
-        self._add_j(jacobian, d_idx, s_idx, -ctx.gmin)
-        self._add_j(jacobian, s_idx, d_idx, -ctx.gmin)
-        self._add_j(jacobian, s_idx, s_idx, ctx.gmin)
+        acc.add(d_idx, d_idx, ctx.gmin)
+        acc.add(d_idx, s_idx, -ctx.gmin)
+        acc.add(s_idx, d_idx, -ctx.gmin)
+        acc.add(s_idx, s_idx, ctx.gmin)
 
-    def ac_stamp(self, conductance, susceptance, rhs, x_op, ctx):
+    def ac_stamp_values(self, g_acc, c_acc, rhs, x_op, ctx):
         """Small-signal gm/gds stamps at the DC operating point.
 
-        The conductance pattern matches the DC Jacobian of :meth:`stamp`
-        evaluated at ``x_op`` — that Jacobian *is* the device
-        linearization (the level-1 model carries no charge storage, so
-        the susceptance contribution is zero).
+        The conductance pattern matches the DC Jacobian of
+        :meth:`stamp_values` evaluated at ``x_op`` — that Jacobian *is*
+        the device linearization (the level-1 model carries no charge
+        storage, so the susceptance contribution is zero).
         """
         d_idx, g_idx, s_idx = self.node_indices
         _, gm, gds, swapped = self._evaluate(x_op)
@@ -720,16 +878,16 @@ class MOSFET(Element):
             eff_d, eff_s = s_idx, d_idx
         else:
             eff_d, eff_s = d_idx, s_idx
-        self._add_j(conductance, eff_d, g_idx, gm)
-        self._add_j(conductance, eff_d, eff_d, gds)
-        self._add_j(conductance, eff_d, eff_s, -(gm + gds))
-        self._add_j(conductance, eff_s, g_idx, -gm)
-        self._add_j(conductance, eff_s, eff_d, -gds)
-        self._add_j(conductance, eff_s, eff_s, gm + gds)
-        self._add_j(conductance, d_idx, d_idx, ctx.gmin)
-        self._add_j(conductance, d_idx, s_idx, -ctx.gmin)
-        self._add_j(conductance, s_idx, d_idx, -ctx.gmin)
-        self._add_j(conductance, s_idx, s_idx, ctx.gmin)
+        g_acc.add(eff_d, g_idx, gm)
+        g_acc.add(eff_d, eff_d, gds)
+        g_acc.add(eff_d, eff_s, -(gm + gds))
+        g_acc.add(eff_s, g_idx, -gm)
+        g_acc.add(eff_s, eff_d, -gds)
+        g_acc.add(eff_s, eff_s, gm + gds)
+        g_acc.add(d_idx, d_idx, ctx.gmin)
+        g_acc.add(d_idx, s_idx, -ctx.gmin)
+        g_acc.add(s_idx, d_idx, -ctx.gmin)
+        g_acc.add(s_idx, s_idx, ctx.gmin)
 
     def card(self):
         return (

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import resolve_backend
 from .dc import ConvergenceError, solve_dc
 from .elements import StampContext
 from .netlist import Circuit
@@ -54,21 +55,17 @@ class TransientResult:
 
 def _solve_timepoint(
     circuit: Circuit,
+    solver,
     x_guess: np.ndarray,
     ctx: StampContext,
     max_iterations: int,
     abstol: float,
     reltol: float,
 ) -> np.ndarray:
-    n = circuit.size
     x = x_guess.copy()
     for _ in range(max_iterations):
-        jacobian = np.zeros((n, n))
-        residual = np.zeros(n)
-        for element in circuit.elements:
-            element.stamp(jacobian, residual, x, ctx)
         try:
-            delta = np.linalg.solve(jacobian, -residual)
+            delta = solver.solve_newton(x, ctx)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"{circuit.name}: singular Jacobian at t={ctx.time:.4g}s"
@@ -95,6 +92,7 @@ def simulate_transient(
     abstol: float = 1e-9,
     reltol: float = 1e-6,
     gmin: float = 1e-12,
+    backend="auto",
 ) -> TransientResult:
     """Run a fixed-step transient simulation.
 
@@ -113,6 +111,12 @@ def simulate_transient(
         (SPICE ``uic``). Useful for oscillators.
     x0:
         Explicit initial state, overriding both options above.
+    backend:
+        Linear-solver backend (``"dense"``, ``"sparse"``, ``"auto"`` or
+        an instance); shared between the initial DC solve and every
+        timepoint, so the sparse backend performs its symbolic analysis
+        once per run — and, for linear circuits, one numeric
+        factorization per integration method.
 
     Returns
     -------
@@ -124,12 +128,13 @@ def simulate_transient(
     if dt <= 0:
         raise ValueError("dt must be positive")
     circuit._elaborate_if_needed()
+    solver = resolve_backend(circuit, backend)
     if x0 is not None:
         x = np.asarray(x0, dtype=float).copy()
     elif use_ic:
         x = np.zeros(circuit.size)
     else:
-        x = solve_dc(circuit, gmin=gmin).x
+        x = solve_dc(circuit, gmin=gmin, backend=solver).x
     # tolerate float ratios a hair above an integer (e.g. 1e-3 / 1e-6)
     n_steps = max(1, int(np.ceil((t_stop - t_start) / dt - 1e-9)))
     times = t_start + dt * np.arange(n_steps + 1)
@@ -142,7 +147,8 @@ def simulate_transient(
         ctx.x_prev = states[k - 1]
         ctx.method = "be" if k == 1 else "trap"
         x = _solve_timepoint(
-            circuit, states[k - 1], ctx, max_iterations, abstol, reltol
+            circuit, solver, states[k - 1], ctx, max_iterations, abstol,
+            reltol
         )
         states[k] = x
         for element in circuit.elements:

@@ -4,15 +4,17 @@ import numpy as np
 import pytest
 
 from repro.circuits import (
+    N_CORNERS,
     ChargePumpProblem,
     Corner,
-    N_CORNERS,
+    InterconnectLadderProblem,
     OpAmpProblem,
     PowerAmplifierProblem,
     all_corners,
     build_opamp_circuit,
     build_pa_circuit,
     charge_pump_currents,
+    simulate_ladder,
     simulate_opamp,
     simulate_pa,
     typical_corner,
@@ -180,7 +182,9 @@ class TestChargePumpModel:
         x_short[idx] = 0.05
         x_long[idx] = 1.0
         corner = typical_corner()
-        ripple = lambda c: float(np.max(c["i_m1"]) - np.min(c["i_m1"]))
+        def ripple(c):
+            return float(np.max(c["i_m1"]) - np.min(c["i_m1"]))
+
         assert (ripple(charge_pump_currents(x_long, corner))
                 <= ripple(charge_pump_currents(x_short, corner)) + 1e-9)
 
@@ -312,3 +316,32 @@ class TestOpAmpProblem:
         b = problem.evaluate_unit(u, FIDELITY_LOW)
         assert a.objective == b.objective
         np.testing.assert_array_equal(a.constraints, b.constraints)
+
+
+class TestInterconnectLadder:
+    def test_constraint_wiring_and_metrics(self):
+        problem = InterconnectLadderProblem(n_sections=64)
+        evaluation = problem.evaluate_unit(np.full(3, 0.5), FIDELITY_HIGH)
+        metrics = evaluation.metrics
+        for key in ("bandwidth_mhz", "dc_attenuation_db", "wire_cap_pf", "fom"):
+            assert np.isfinite(metrics[key])
+        expected = np.array([
+            problem.bw_min_mhz - metrics["bandwidth_mhz"],
+            problem.att_min_db - metrics["dc_attenuation_db"],
+        ])
+        np.testing.assert_allclose(evaluation.constraints, expected)
+        assert evaluation.objective == pytest.approx(metrics["fom"])
+
+    def test_low_fidelity_is_cheaper_and_optimistic(self):
+        problem = InterconnectLadderProblem(n_sections=64)
+        assert problem.cost(FIDELITY_LOW) < problem.cost(FIDELITY_HIGH)
+        low = simulate_ladder(1.0, 100.0, 1.0, FIDELITY_LOW, n_sections=64)
+        high = simulate_ladder(1.0, 100.0, 1.0, FIDELITY_HIGH, n_sections=64)
+        # the lumped approximation systematically overestimates bandwidth
+        assert low["bandwidth_mhz"] > high["bandwidth_mhz"]
+
+    def test_wider_wire_improves_attenuation(self):
+        narrow = simulate_ladder(0.3, 100.0, 1.0, FIDELITY_HIGH, n_sections=64)
+        wide = simulate_ladder(4.0, 100.0, 1.0, FIDELITY_HIGH, n_sections=64)
+        assert wide["dc_attenuation_db"] > narrow["dc_attenuation_db"]
+        assert wide["wire_cap_pf"] > narrow["wire_cap_pf"]

@@ -1,8 +1,5 @@
 """Tests for repro.experiments (figures, tables harness, scaling)."""
 
-import os
-from dataclasses import replace
-
 import numpy as np
 import pytest
 

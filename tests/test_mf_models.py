@@ -110,8 +110,11 @@ class TestAR1:
         rng = np.random.default_rng(0)
         x_low = np.linspace(0, 1, 30)[:, None]
         x_high = np.sort(rng.random(10))[:, None]
-        f_low = lambda x: np.sin(2 * np.pi * x[:, 0])
-        f_high = lambda x: 2.0 * f_low(x) + 1.0
+        def f_low(x):
+            return np.sin(2 * np.pi * x[:, 0])
+
+        def f_high(x):
+            return 2.0 * f_low(x) + 1.0
         model = AR1(n_restarts=1).fit(
             x_low, f_low(x_low), x_high, f_high(x_high), rng=rng
         )

@@ -33,6 +33,7 @@ class TestSubpackageImports:
 
         assert Circuit is not None
         assert solve_ac is not None and ACSolution is not None
+        assert solve_dc is not None and simulate_transient is not None
 
     def test_circuits_package(self):
         from repro.circuits import (

@@ -19,7 +19,6 @@ from repro import (
     RandomSearchOptimizer,
     SerialEvaluator,
 )
-from repro.session import Strategy, Suggestion
 from repro.experiments.runners import AlgorithmSpec, compare_algorithms, run_strategy
 from repro.problems import (
     FIDELITY_HIGH,
@@ -27,6 +26,7 @@ from repro.problems import (
     ForresterProblem,
     GardnerProblem,
 )
+from repro.session import Strategy, Suggestion
 
 FAST = dict(msp_starts=20, msp_polish=1, n_restarts=1, n_mc_samples=6,
             gp_max_opt_iter=25)
