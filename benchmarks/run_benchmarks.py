@@ -40,6 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SUBSTRATE_SUITE = "benchmarks/test_substrate_perf.py"
 SESSION_SUITE = "benchmarks/test_session_overhead.py"
 SPARSE_SUITE = "benchmarks/test_substrate_sparse.py"
+MOO_SUITE = "benchmarks/test_moo_perf.py"
 
 
 def default_output_name() -> str:
@@ -171,13 +172,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke and args.out:
         parser.error("--smoke writes no JSON; drop --out or --smoke")
     # The default targets (and the CI --smoke breakage check) cover the
-    # session_overhead and sparse-backend suites too: the ask/tell layer
-    # must keep producing the legacy trajectories, and both solver
-    # backends must keep solving the large-circuit scenario.
+    # session_overhead, sparse-backend and multi-objective suites too:
+    # the ask/tell layer must keep producing the legacy trajectories,
+    # both solver backends must keep solving the large-circuit scenario,
+    # and the hypervolume/EHVI/MOMFBO hot paths stay under the perf
+    # guard.
     targets = (
         ["benchmarks"]
         if args.all
-        else [SUBSTRATE_SUITE, SESSION_SUITE, SPARSE_SUITE]
+        else [SUBSTRATE_SUITE, SESSION_SUITE, SPARSE_SUITE, MOO_SUITE]
     )
     if args.smoke:
         return run_suite(targets, None)

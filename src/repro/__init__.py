@@ -14,6 +14,9 @@ Public API highlights
   :class:`repro.baselines.DEOptimizer` /
   :class:`repro.baselines.RandomSearchOptimizer` — the compared methods,
   on the same Strategy protocol.
+- :class:`repro.moo.MOMFBOptimizer` — multi-objective multi-fidelity
+  optimization (Pareto archive, hypervolume, EHVI/ParEGO) on the same
+  Strategy protocol.
 - :class:`repro.mf.NARGP` — nonlinear two-fidelity GP fusion (§3).
 - :class:`repro.gp.GPR` — exact GP regression substrate (§2.3).
 - :mod:`repro.circuits` — power-amplifier, charge-pump and two-stage
@@ -33,11 +36,20 @@ from .core import BOResult, FidelitySelector, History, MFBOptimizer
 from .design import DesignSpace, Variable
 from .gp import GPR
 from .mf import AR1, NARGP
+from .moo import (
+    ExpectedHypervolumeImprovement,
+    MOMFBOptimizer,
+    ParEGOScalarizer,
+    ParetoArchive,
+    hypervolume,
+)
 from .optim import DifferentialEvolution, MSPOptimizer, RandomSearch
 from .problems import (
     FIDELITY_HIGH,
     FIDELITY_LOW,
     Evaluation,
+    MultiObjectiveEvaluation,
+    MultiObjectiveProblem,
     Problem,
 )
 from .session import (
@@ -53,6 +65,11 @@ __version__ = "0.2.0"
 
 __all__ = [
     "MFBOptimizer",
+    "MOMFBOptimizer",
+    "ParetoArchive",
+    "ExpectedHypervolumeImprovement",
+    "ParEGOScalarizer",
+    "hypervolume",
     "BOResult",
     "FidelitySelector",
     "History",
@@ -80,6 +97,8 @@ __all__ = [
     "ViolationAcquisition",
     "Problem",
     "Evaluation",
+    "MultiObjectiveProblem",
+    "MultiObjectiveEvaluation",
     "FIDELITY_LOW",
     "FIDELITY_HIGH",
     "__version__",

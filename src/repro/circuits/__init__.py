@@ -7,18 +7,32 @@ from .ladder import (
     build_ladder_circuit,
     simulate_ladder,
 )
-from .opamp import OpAmpProblem, build_opamp_circuit, simulate_opamp
-from .power_amplifier import PowerAmplifierProblem, build_pa_circuit, simulate_pa
+from .opamp import (
+    OpAmpProblem,
+    ParetoOpAmpProblem,
+    build_opamp_circuit,
+    opamp_active_area_um2,
+    simulate_opamp,
+)
+from .power_amplifier import (
+    ParetoPowerAmplifierProblem,
+    PowerAmplifierProblem,
+    build_pa_circuit,
+    simulate_pa,
+)
 from .pvt import N_CORNERS, Corner, all_corners, typical_corner
 
 __all__ = [
     "PowerAmplifierProblem",
+    "ParetoPowerAmplifierProblem",
     "build_pa_circuit",
     "simulate_pa",
     "ChargePumpProblem",
     "charge_pump_currents",
     "OpAmpProblem",
+    "ParetoOpAmpProblem",
     "build_opamp_circuit",
+    "opamp_active_area_um2",
     "simulate_opamp",
     "InterconnectLadderProblem",
     "build_ladder_circuit",

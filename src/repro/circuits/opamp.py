@@ -35,12 +35,19 @@ import numpy as np
 
 from ..design.space import DesignSpace, Variable
 from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+from ..problems.multi import MultiObjectiveProblem
 from ..spice.ac import solve_ac
 from ..spice.dc import ConvergenceError, solve_dc
 from ..spice.elements import MOSFET, Capacitor, Resistor, VoltageSource
 from ..spice.netlist import Circuit
 
-__all__ = ["OpAmpProblem", "build_opamp_circuit", "simulate_opamp"]
+__all__ = [
+    "OpAmpProblem",
+    "ParetoOpAmpProblem",
+    "build_opamp_circuit",
+    "simulate_opamp",
+    "opamp_active_area_um2",
+]
 
 #: Supply voltage and input common mode.
 VDD_V = 1.8
@@ -151,6 +158,18 @@ def simulate_opamp(
     }
 
 
+def opamp_active_area_um2(w1: float, w3: float, w6: float) -> float:
+    """Total active (gate) area of the op-amp's transistors in um^2.
+
+    Sums ``W * L`` over all eight devices: the differential pair and
+    mirror load count twice, ``M7`` mirrors ``W8 * W6 / W3`` and the
+    bias chain contributes ``M8`` plus the 2x tail ``M5``.
+    """
+    w7 = BIAS_W * w6 / w3
+    total_w = 2.0 * w1 + 2.0 * w3 + w6 + w7 + 3.0 * BIAS_W
+    return total_w * LENGTH_M / 1e-12
+
+
 class OpAmpProblem(Problem):
     """Two-stage op-amp sizing as a constrained two-fidelity problem.
 
@@ -220,3 +239,67 @@ class OpAmpProblem(Problem):
             ]
         )
         return objective, constraints, metrics
+
+
+class ParetoOpAmpProblem(MultiObjectiveProblem):
+    """Op-amp sizing as a three-objective Pareto problem.
+
+    ::
+
+        minimize  (power, -UGF, active area)
+        s.t.      gain > gain_min_db
+                  PM   > pm_min_deg
+
+    The single-objective :class:`OpAmpProblem` folds speed into a UGF
+    constraint; here the power / speed / area trade-off is left open and
+    the optimizer maps its Pareto surface instead. The same two-fidelity
+    axis (decimated sweep + exaggerated channel-length modulation)
+    drives the NARGP fusion. Three objectives make this the testbench
+    for the Monte-Carlo EHVI path.
+    """
+
+    name = "pareto-opamp"
+
+    def __init__(
+        self,
+        gain_min_db: float = 60.0,
+        pm_min_deg: float = 55.0,
+    ):
+        space = DesignSpace(
+            [
+                Variable("W1", 2e-6, 80e-6, unit="m", log_scale=True),
+                Variable("W3", 2e-6, 40e-6, unit="m", log_scale=True),
+                Variable("W6", 10e-6, 400e-6, unit="m", log_scale=True),
+                Variable("Rb", 30e3, 600e3, unit="Ohm", log_scale=True),
+                Variable("Cc", 0.3e-12, 6e-12, unit="F", log_scale=True),
+            ]
+        )
+        super().__init__(
+            space=space,
+            n_objectives=3,
+            objective_names=("power_mw", "neg_ugf_mhz", "area_um2"),
+            n_constraints=2,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 1.0 / COST_RATIO, FIDELITY_HIGH: 1.0},
+        )
+        self.gain_min_db = float(gain_min_db)
+        self.pm_min_deg = float(pm_min_deg)
+
+    def _evaluate_multi(self, x, fidelity):
+        w1, w3, w6, rb, cc = (float(v) for v in x)
+        metrics = simulate_opamp(w1, w3, w6, rb, cc, fidelity)
+        metrics["area_um2"] = opamp_active_area_um2(w1, w3, w6)
+        objectives = np.array(
+            [
+                metrics["power_mw"],      # minimize power
+                -metrics["ugf_mhz"],      # maximize speed
+                metrics["area_um2"],      # minimize area
+            ]
+        )
+        constraints = np.array(
+            [
+                self.gain_min_db - metrics["gain_db"],  # gain > min
+                self.pm_min_deg - metrics["pm_deg"],    # PM   > min
+            ]
+        )
+        return objectives, constraints, metrics

@@ -93,6 +93,12 @@ class StrategyBase:
     algorithm_name: str = "strategy"
     #: checkpoint registry key (see ``repro.session.register_strategy``)
     strategy_id: str = "base"
+    #: schema version of this strategy's ``state_dict`` payload. Bump it
+    #: when the layout of the serialized state changes incompatibly;
+    #: :meth:`load_state_dict` then rejects stale checkpoints with a
+    #: clear error instead of silently mis-restoring them. Checkpoints
+    #: written before the field existed are treated as version 1.
+    state_version: int = 1
     #: names of the independent RNG streams this strategy consumes
     rng_stream_names: tuple[str, ...] = ("init",)
 
@@ -210,6 +216,7 @@ class StrategyBase:
         """Full JSON-serializable state (see the Strategy protocol)."""
         return {
             "strategy": self.strategy_id,
+            "state_version": int(self.state_version),
             "config": self.config_dict(),
             "iteration": int(self._iteration),
             "init_drawn": bool(self._init_drawn),
@@ -232,6 +239,15 @@ class StrategyBase:
             raise ValueError(
                 f"state belongs to strategy {state.get('strategy')!r}, "
                 f"not {self.strategy_id!r}"
+            )
+        saved_version = int(state.get("state_version", 1))
+        if saved_version != self.state_version:
+            raise ValueError(
+                f"checkpoint state schema version {saved_version} does not "
+                f"match {type(self).__name__}.state_version "
+                f"{self.state_version}; the saved layout is incompatible "
+                "with this build — re-run from scratch or load it with a "
+                "matching version of the library"
             )
         self._iteration = int(state["iteration"])
         self._init_drawn = bool(state["init_drawn"])

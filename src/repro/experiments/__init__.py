@@ -7,6 +7,7 @@ from .figures import (
     fig3_pa_correlation,
     fig4_schematic,
 )
+from .pareto import render_hv_curve, tab5_pareto
 from .runners import AlgorithmSpec, ComparisonResult, compare_algorithms
 from .scale import FULL, SMOKE, Scale, current_scale
 from .tables import (
@@ -25,6 +26,8 @@ __all__ = [
     "tab2_charge_pump",
     "tab3_opamp",
     "tab4_ladder",
+    "tab5_pareto",
+    "render_hv_curve",
     "abl1_fusion",
     "abl2_msp_scatter",
     "abl3_gamma",

@@ -6,7 +6,8 @@ Usage::
     python -m repro.experiments tab1 --full --seed 7
     python -m repro.experiments all
 
-Artifacts: fig1 fig2 fig3 fig4 tab1 tab2 tab3 abl1 abl2 abl3 all.
+Artifacts: fig1 fig2 fig3 fig4 tab1 tab2 tab3 tab4 tab5 abl1 abl2 abl3
+all.
 ``--full`` switches to the paper-scale protocol (same as REPRO_FULL=1).
 """
 
@@ -27,10 +28,11 @@ from . import (
     tab2_charge_pump,
     tab3_opamp,
     tab4_ladder,
+    tab5_pareto,
 )
 
 ARTIFACTS = ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2", "tab3",
-             "tab4", "abl1", "abl2", "abl3")
+             "tab4", "tab5", "abl1", "abl2", "abl3")
 
 
 def _print_fig1(seed: int) -> None:
@@ -82,6 +84,16 @@ def _print_tab4(seed: int) -> None:
     print(tab4_ladder(base_seed=seed, verbose=True)["table"])
 
 
+def _print_tab5(seed: int) -> None:
+    result = tab5_pareto(base_seed=seed, verbose=True)
+    print(result["table"])
+    for scenario in result["scenarios"].values():
+        print()
+        print(scenario["front_table"])
+        print()
+        print(scenario["curve"])
+
+
 def _print_abl1(seed: int) -> None:
     result = abl1_fusion(seed=seed)
     print("Ablation abl1 — NARGP vs AR1")
@@ -107,7 +119,7 @@ def _print_abl3(seed: int) -> None:
 _RUNNERS = {
     "fig1": _print_fig1, "fig2": _print_fig2, "fig3": _print_fig3,
     "fig4": _print_fig4, "tab1": _print_tab1, "tab2": _print_tab2,
-    "tab3": _print_tab3, "tab4": _print_tab4,
+    "tab3": _print_tab3, "tab4": _print_tab4, "tab5": _print_tab5,
     "abl1": _print_abl1, "abl2": _print_abl2, "abl3": _print_abl3,
 }
 

@@ -1,0 +1,159 @@
+"""Table 5: Pareto-front experiments for the multi-objective scenarios.
+
+``tab5_pareto`` runs :class:`repro.moo.MOMFBOptimizer` (EHVI
+acquisition) on the two Pareto circuit testbenches — the three-objective
+op-amp (power vs. UGF vs. active area) and the bi-objective class-E PA
+(efficiency vs. output power) — at two fidelities each, and reports:
+
+* the archived Pareto front per scenario, as a formatted table in the
+  circuit's native metric units;
+* the hypervolume-vs-cost curve (one row per high-fidelity evaluation),
+  rendered as an ASCII figure for the CLI;
+* a cross-scenario summary row (final hypervolume, front size,
+  low/high simulation counts, equivalent cost).
+
+Like every experiment, the budgets come from
+:class:`~repro.experiments.scale.Scale`: smoke-sized by default,
+paper-scale under ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.opamp import ParetoOpAmpProblem
+from ..circuits.power_amplifier import ParetoPowerAmplifierProblem
+from ..moo.optimizer import MOMFBOptimizer
+from ..session.session import OptimizationSession
+from .runners import format_table
+from .scale import Scale, current_scale
+
+__all__ = ["tab5_pareto", "render_hv_curve"]
+
+
+def render_hv_curve(trace: np.ndarray, width: int = 40, title: str = "") -> str:
+    """ASCII hypervolume-vs-cost figure from a ``(n, 2)`` trace."""
+    lines = [title] if title else []
+    if trace.size == 0:
+        lines.append("(no high-fidelity evaluations)")
+        return "\n".join(lines)
+    hv_max = float(np.max(trace[:, 1]))
+    scale = hv_max if hv_max > 0 else 1.0
+    for cost, hv in trace:
+        bar = "#" * int(round(width * hv / scale))
+        lines.append(f"  cost {cost:8.2f}  hv {hv:12.5g}  |{bar}")
+    return "\n".join(lines)
+
+
+def _run_scenario(
+    problem,
+    budget: float,
+    init: tuple[int, int],
+    scale: Scale,
+    seed: int,
+    verbose: bool,
+) -> dict:
+    optimizer = MOMFBOptimizer(
+        problem,
+        budget=budget,
+        n_init_low=init[0],
+        n_init_high=init[1],
+        acquisition="ehvi",
+        ehvi_mc_samples=scale.tab5_ehvi_mc,
+        n_mc_samples=scale.n_mc_samples,
+        n_restarts=scale.n_restarts,
+        msp_starts=scale.msp_starts,
+        msp_polish=scale.msp_polish,
+        gp_max_opt_iter=scale.gp_max_opt_iter,
+        seed=seed,
+    )
+    OptimizationSession(optimizer).run()
+    trace = optimizer.hypervolume_trace()
+    front = optimizer.archive.front()
+    summary = optimizer.pareto_summary()
+
+    rows = {}
+    order = np.argsort(front[:, 0]) if front.size else []
+    for rank, index in enumerate(order):
+        entry = summary[int(index)]
+        rows[f"p{rank + 1}"] = {
+            name: float(value)
+            for name, value in zip(problem.objective_names, entry["objectives"])
+        }
+    front_table = format_table(
+        rows,
+        list(problem.objective_names),
+        title=f"Pareto front — {problem.name}",
+        float_format="{:.4g}",
+    )
+    result = {
+        "problem": problem.name,
+        "front": front,
+        "summary": summary,
+        "trace": trace,
+        "front_table": front_table,
+        "curve": render_hv_curve(
+            trace, title=f"Hypervolume vs cost — {problem.name}"
+        ),
+        "final_hv": float(trace[-1, 1]) if trace.size else 0.0,
+        "ref_point": optimizer.ref_point,
+        "n_low": optimizer.history.n_evaluations(problem.lowest_fidelity),
+        "n_high": optimizer.history.n_evaluations(problem.highest_fidelity),
+        "equivalent_cost": optimizer.history.total_cost,
+    }
+    if verbose:
+        print(
+            f"[{problem.name}] front={front.shape[0]} "
+            f"hv={result['final_hv']:.4g} "
+            f"cost={result['equivalent_cost']:.1f} "
+            f"({result['n_low']} low / {result['n_high']} high)"
+        )
+    return result
+
+
+def tab5_pareto(
+    scale: Scale | None = None,
+    base_seed: int = 2019,
+    verbose: bool = False,
+) -> dict:
+    """Table 5: Pareto fronts of the two multi-objective testbenches.
+
+    Returns per-scenario fronts, hypervolume-vs-cost traces and rendered
+    tables/curves, plus a cross-scenario summary table.
+    """
+    scale = scale if scale is not None else current_scale()
+    scenarios = {
+        "opamp": _run_scenario(
+            ParetoOpAmpProblem(),
+            scale.tab5_opamp_budget,
+            scale.tab5_opamp_init,
+            scale,
+            base_seed,
+            verbose,
+        ),
+        "pa": _run_scenario(
+            ParetoPowerAmplifierProblem(),
+            scale.tab5_pa_budget,
+            scale.tab5_pa_init,
+            scale,
+            base_seed,
+            verbose,
+        ),
+    }
+    rows = {
+        result["problem"]: {
+            "HV(final)": result["final_hv"],
+            "|Front|": f"{result['front'].shape[0]}",
+            "#low": f"{result['n_low']}",
+            "#high": f"{result['n_high']}",
+            "Avg.#Sim": result["equivalent_cost"],
+        }
+        for result in scenarios.values()
+    }
+    table = format_table(
+        rows,
+        ["HV(final)", "|Front|", "#low", "#high", "Avg.#Sim"],
+        title=f"Table 5 (Pareto scenarios, scale={scale.name})",
+    )
+    return {"scenarios": scenarios, "rows": rows, "table": table,
+            "scale": scale.name}

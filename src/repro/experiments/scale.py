@@ -71,6 +71,12 @@ class Scale:
     tab4_de_budget: int
     tab4_de_pop: int
     tab4_n_sections: int
+    # Table 5 — Pareto scenarios (multi-objective workloads)
+    tab5_opamp_budget: float
+    tab5_opamp_init: tuple[int, int]
+    tab5_pa_budget: float
+    tab5_pa_init: tuple[int, int]
+    tab5_ehvi_mc: int
     # per-table MSP knobs (the 36-dim charge pump needs a cheaper
     # gradient-polish budget than the 5-dim PA)
     tab2_msp_starts: int
@@ -123,6 +129,11 @@ FULL = Scale(
     tab4_de_budget=400,
     tab4_de_pop=16,
     tab4_n_sections=400,
+    tab5_opamp_budget=40.0,
+    tab5_opamp_init=(16, 6),
+    tab5_pa_budget=60.0,
+    tab5_pa_init=(12, 5),
+    tab5_ehvi_mc=32,
     tab2_msp_starts=200,
     tab2_msp_polish=2,
     msp_starts=200,
@@ -172,6 +183,11 @@ SMOKE = Scale(
     tab4_de_budget=40,
     tab4_de_pop=8,
     tab4_n_sections=200,
+    tab5_opamp_budget=8.0,
+    tab5_opamp_init=(10, 4),
+    tab5_pa_budget=6.0,
+    tab5_pa_init=(8, 3),
+    tab5_ehvi_mc=8,
     tab2_msp_starts=60,
     tab2_msp_polish=0,
     msp_starts=60,

@@ -1,0 +1,234 @@
+"""Pareto domination, non-dominated sorting and an incremental archive.
+
+All objective matrices are ``(n, m)`` with **minimization** convention
+in every coordinate. Domination follows Deb's constrained-domination
+rules wherever constraint information is available:
+
+* a feasible point dominates every infeasible point;
+* between two infeasible points, the one with the strictly smaller
+  total constraint violation dominates;
+* between two feasible points, standard Pareto domination applies
+  (no worse in every objective, strictly better in at least one).
+
+The sorting primitives are vectorized (one ``(n, n, m)`` broadcast
+instead of Python double loops) and back both the
+:class:`ParetoArchive` used by :class:`repro.moo.MOMFBOptimizer` and the
+brute-force cross-checks in the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "non_dominated_mask",
+    "constrained_non_dominated_mask",
+    "non_dominated_sort",
+    "ParetoArchive",
+]
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` iff ``a <= b`` componentwise with at least one
+    strict inequality (minimization).
+    """
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of ``(n, m)`` objectives.
+
+    Duplicate rows do not dominate each other, so all copies of a
+    non-dominated point are kept. Vectorized as a single ``(n, n, m)``
+    broadcast comparison — O(n^2 m) work without Python loops.
+    """
+    f = np.atleast_2d(np.asarray(objectives, dtype=float))
+    if f.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    # dominated_by[j, i] — row j dominates row i
+    le = np.all(f[:, None, :] <= f[None, :, :], axis=-1)
+    lt = np.any(f[:, None, :] < f[None, :, :], axis=-1)
+    dominated_by = le & lt
+    return ~np.any(dominated_by, axis=0)
+
+
+def constrained_non_dominated_mask(
+    objectives: np.ndarray, violations: np.ndarray | None = None
+) -> np.ndarray:
+    """Non-dominated mask under Deb's constrained-domination rules.
+
+    ``violations`` holds each point's total constraint violation
+    (``0`` means feasible, see
+    :attr:`repro.problems.Evaluation.total_violation`); ``None`` means
+    unconstrained, reducing to :func:`non_dominated_mask`.
+    """
+    f = np.atleast_2d(np.asarray(objectives, dtype=float))
+    if violations is None:
+        return non_dominated_mask(f)
+    v = np.asarray(violations, dtype=float).ravel()
+    if v.size != f.shape[0]:
+        raise ValueError(
+            f"{v.size} violations for {f.shape[0]} objective vectors"
+        )
+    feasible = v <= 0.0
+    if np.any(feasible):
+        mask = np.zeros(f.shape[0], dtype=bool)
+        # Feasible points dominate every infeasible one; the survivors
+        # are the Pareto-optimal feasible rows.
+        mask[feasible] = non_dominated_mask(f[feasible])
+        return mask
+    # No feasible point yet: the least-violating points survive.
+    return v <= np.min(v)
+
+
+def non_dominated_sort(objectives: np.ndarray) -> np.ndarray:
+    """Rank rows into Pareto fronts (rank 0 = non-dominated).
+
+    Repeatedly peels the non-dominated subset; returns an ``(n,)``
+    integer array of front indices.
+    """
+    f = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n = f.shape[0]
+    ranks = np.full(n, -1, dtype=int)
+    remaining = np.arange(n)
+    rank = 0
+    while remaining.size:
+        mask = non_dominated_mask(f[remaining])
+        ranks[remaining[mask]] = rank
+        remaining = remaining[~mask]
+        rank += 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One archived design: location, objectives and feasibility."""
+
+    x_unit: np.ndarray
+    objectives: np.ndarray
+    violation: float
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.violation <= 0.0
+
+
+class ParetoArchive:
+    """Incremental archive of constrained-non-dominated designs.
+
+    ``add`` keeps the invariant that entries are mutually non-dominated
+    under constrained domination: while no feasible point is known the
+    archive holds the least-violating design(s); the first feasible
+    point evicts all infeasible ones, and from then on the archive is
+    the running Pareto front. Insertion is vectorized against the
+    current front (one broadcast comparison per candidate), so archive
+    maintenance stays O(|archive| * m) per evaluation.
+
+    The archive is a pure function of the evaluations fed to it —
+    :class:`repro.moo.MOMFBOptimizer` rebuilds it from the restored
+    history on checkpoint resume instead of serializing it.
+    """
+
+    def __init__(self, n_objectives: int):
+        if n_objectives < 2:
+            raise ValueError("need at least two objectives")
+        self.n_objectives = int(n_objectives)
+        self.entries: list[ArchiveEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        x_unit: np.ndarray,
+        objectives: np.ndarray,
+        violation: float = 0.0,
+        metrics: dict | None = None,
+    ) -> bool:
+        """Offer one evaluated design; returns True when it is archived.
+
+        Rejected candidates (dominated under the constrained rules)
+        leave the archive untouched.
+        """
+        objectives = np.asarray(objectives, dtype=float).ravel().copy()
+        if objectives.size != self.n_objectives:
+            raise ValueError(
+                f"expected {self.n_objectives} objectives, "
+                f"got {objectives.size}"
+            )
+        if not np.all(np.isfinite(objectives)):
+            return False
+        violation = float(max(violation, 0.0))
+        entry = ArchiveEntry(
+            x_unit=np.asarray(x_unit, dtype=float).ravel().copy(),
+            objectives=objectives,
+            violation=violation,
+            metrics=dict(metrics or {}),
+        )
+        if not self.entries:
+            self.entries.append(entry)
+            return True
+
+        any_feasible = any(e.feasible for e in self.entries)
+        if entry.feasible and not any_feasible:
+            # First feasible design evicts the violation-ranked phase.
+            self.entries = [entry]
+            return True
+        if not entry.feasible:
+            if any_feasible:
+                return False
+            best = min(e.violation for e in self.entries)
+            if entry.violation > best:
+                return False
+            if entry.violation < best:
+                self.entries = [entry]
+            else:
+                self.entries.append(entry)
+            return True
+
+        # Feasible candidate against a feasible front.
+        front = self.objectives_matrix()
+        le = np.all(front <= objectives[None, :], axis=1)
+        lt = np.any(front < objectives[None, :], axis=1)
+        if bool(np.any(le & lt)):
+            return False
+        ge = np.all(objectives[None, :] <= front, axis=1)
+        gt = np.any(objectives[None, :] < front, axis=1)
+        dominated = ge & gt
+        if np.any(dominated):
+            self.entries = [
+                e for e, drop in zip(self.entries, dominated) if not drop
+            ]
+        self.entries.append(entry)
+        return True
+
+    # ------------------------------------------------------------------
+    def objectives_matrix(self) -> np.ndarray:
+        """All archived objective vectors as an ``(n, m)`` array."""
+        if not self.entries:
+            return np.empty((0, self.n_objectives))
+        return np.vstack([e.objectives for e in self.entries])
+
+    def front(self) -> np.ndarray:
+        """Objective vectors of the **feasible** archive entries."""
+        feasible = [e.objectives for e in self.entries if e.feasible]
+        if not feasible:
+            return np.empty((0, self.n_objectives))
+        return np.vstack(feasible)
+
+    def front_entries(self) -> list[ArchiveEntry]:
+        """Feasible archive entries (the Pareto-front designs)."""
+        return [e for e in self.entries if e.feasible]
+
+    @property
+    def has_feasible(self) -> bool:
+        return any(e.feasible for e in self.entries)

@@ -4,8 +4,8 @@ A :class:`Problem` is a constrained, possibly multi-fidelity black box:
 
 * the **objective** is minimized (maximization problems negate at this
   boundary — e.g. power-amplifier efficiency);
-* each **constraint** is feasible when its value is ``< 0`` (paper
-  eq. 1);
+* each **constraint** is feasible when its value is ``c_i <= 0`` (paper
+  eq. 1; a constraint sitting exactly on its specification is met);
 * each **fidelity** has a relative evaluation cost, with the most
   accurate fidelity costing 1.0 "equivalent high-fidelity simulations" —
   the cost unit in which the paper reports its budgets (Tables 1-2).
@@ -34,8 +34,8 @@ class Evaluation:
     objective:
         Value of the function being minimized.
     constraints:
-        Array of constraint values; ``c_i < 0`` means constraint ``i`` is
-        satisfied. Empty for unconstrained problems.
+        Array of constraint values; ``c_i <= 0`` means constraint ``i``
+        is satisfied. Empty for unconstrained problems.
     fidelity:
         The fidelity the evaluation was performed at.
     cost:
@@ -53,8 +53,13 @@ class Evaluation:
 
     @property
     def feasible(self) -> bool:
-        """True when every constraint is strictly satisfied."""
-        return bool(np.all(self.constraints < 0.0))
+        """True when every constraint satisfies ``c_i <= 0``.
+
+        A constraint exactly on its specification boundary counts as
+        met, consistent with :attr:`total_violation` (which is 0 there)
+        and the paper's ``c_i(x) <= 0`` convention.
+        """
+        return bool(np.all(self.constraints <= 0.0))
 
     @property
     def total_violation(self) -> float:
@@ -82,7 +87,17 @@ class Evaluation:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Evaluation":
-        """Rebuild an evaluation from :meth:`to_dict` output."""
+        """Rebuild an evaluation from :meth:`to_dict` output.
+
+        Payloads carrying an ``objectives`` vector are dispatched to
+        :class:`repro.problems.MultiObjectiveEvaluation`, so histories
+        mixing single- and multi-objective records round-trip through
+        the session checkpoint format unchanged.
+        """
+        if cls is Evaluation and "objectives" in payload:
+            from .multi import MultiObjectiveEvaluation
+
+            return MultiObjectiveEvaluation.from_dict(payload)
         return cls(
             objective=float(payload["objective"]),
             constraints=np.asarray(payload["constraints"], dtype=float),

@@ -1,0 +1,224 @@
+"""Multi-objective extensions of the :class:`repro.problems.Problem` API.
+
+Analog sizing is intrinsically multi-objective — the paper's testbenches
+trade power against gain/UGF/PM (op-amp) and efficiency against output
+power (PA) but scalarize at the problem boundary. This module keeps the
+single-objective :class:`Problem` untouched and adds a parallel
+abstraction:
+
+* :class:`MultiObjectiveEvaluation` extends :class:`Evaluation` with a
+  vector of ``objectives`` (all minimized; maximization objectives are
+  negated at this boundary, exactly like the scalar convention). The
+  scalar ``objective`` field holds the **primary** objective
+  (``objectives[0]``), so cost accounting, histories and the
+  single-objective reporting tools keep working on mixed records.
+* :class:`MultiObjectiveProblem` declares ``n_objectives`` /
+  ``objective_names`` and routes evaluation through the
+  ``_evaluate_multi`` hook returning ``(objectives, constraints,
+  metrics)``.
+* :class:`ZDT1Problem` — a two-fidelity variant of the classic ZDT1
+  bi-objective benchmark, the synthetic testbed for the multi-objective
+  optimizer and its property tests.
+
+Constraint semantics are shared with the scalar API: ``c_i <= 0`` is
+feasible, and :class:`repro.moo.ParetoArchive` applies
+constrained-domination on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..design.space import DesignSpace, Variable
+from .base import (
+    FIDELITY_HIGH,
+    FIDELITY_LOW,
+    Evaluation,
+    Problem,
+    _plain,
+)
+
+__all__ = [
+    "MultiObjectiveEvaluation",
+    "MultiObjectiveProblem",
+    "ZDT1Problem",
+]
+
+
+@dataclass(frozen=True)
+class MultiObjectiveEvaluation(Evaluation):
+    """Result of one evaluation of a :class:`MultiObjectiveProblem`.
+
+    Attributes
+    ----------
+    objectives:
+        Vector of objective values, all minimized. ``objectives[0]`` is
+        duplicated into the scalar :attr:`Evaluation.objective` field
+        (the *primary* objective) so single-objective tooling — history
+        incumbents, :class:`repro.core.BOResult` — stays meaningful on
+        multi-objective records.
+    """
+
+    objectives: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def to_dict(self) -> dict:
+        """JSON payload; the extra ``objectives`` key triggers the
+        :meth:`Evaluation.from_dict` dispatch back to this class."""
+        payload = super().to_dict()
+        payload["objectives"] = [float(v) for v in self.objectives]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MultiObjectiveEvaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output."""
+        return cls(
+            objective=float(payload["objective"]),
+            constraints=np.asarray(payload["constraints"], dtype=float),
+            fidelity=str(payload["fidelity"]),
+            cost=float(payload["cost"]),
+            metrics=dict(payload.get("metrics", {})),
+            objectives=np.asarray(payload["objectives"], dtype=float),
+        )
+
+
+class MultiObjectiveProblem(Problem):
+    """Constrained multi-fidelity problem with a vector of objectives.
+
+    Subclasses set :attr:`space`, :attr:`n_objectives` (optionally
+    :attr:`objective_names`), :attr:`n_constraints`, the fidelity axis,
+    and implement :meth:`_evaluate_multi` returning ``(objectives,
+    constraints, metrics)``. Every objective is minimized; negate
+    maximization goals at this boundary.
+    """
+
+    name = "multi-objective-problem"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        n_objectives: int,
+        objective_names: tuple[str, ...] | None = None,
+        n_constraints: int = 0,
+        fidelities: tuple[str, ...] = (FIDELITY_LOW, FIDELITY_HIGH),
+        costs: dict[str, float] | None = None,
+    ):
+        if n_objectives < 2:
+            raise ValueError(
+                "a multi-objective problem needs at least two objectives; "
+                "use Problem for scalar ones"
+            )
+        super().__init__(
+            space=space,
+            n_constraints=n_constraints,
+            fidelities=fidelities,
+            costs=costs,
+        )
+        self.n_objectives = int(n_objectives)
+        if objective_names is None:
+            objective_names = tuple(f"f{i + 1}" for i in range(n_objectives))
+        if len(objective_names) != n_objectives:
+            raise ValueError(
+                f"got {len(objective_names)} objective names for "
+                f"{n_objectives} objectives"
+            )
+        self.objective_names = tuple(objective_names)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, x: np.ndarray, fidelity: str | None = None
+    ) -> MultiObjectiveEvaluation:
+        """Evaluate one design point (physical units) at ``fidelity``."""
+        fidelity = fidelity if fidelity is not None else self.highest_fidelity
+        self._check_fidelity(fidelity)
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.dim:
+            raise ValueError(f"expected {self.dim} variables, got {x.size}")
+        if not np.all(np.isfinite(x)):
+            raise ValueError("design point must be finite")
+        objectives, constraints, metrics = self._evaluate_multi(x, fidelity)
+        objectives = np.asarray(objectives, dtype=float).ravel()
+        constraints = np.asarray(constraints, dtype=float).ravel()
+        if objectives.size != self.n_objectives:
+            raise RuntimeError(
+                f"{type(self).__name__} returned {objectives.size} "
+                f"objectives, declared {self.n_objectives}"
+            )
+        if constraints.size != self.n_constraints:
+            raise RuntimeError(
+                f"{type(self).__name__} returned {constraints.size} "
+                f"constraints, declared {self.n_constraints}"
+            )
+        return MultiObjectiveEvaluation(
+            objective=float(objectives[0]),
+            constraints=constraints,
+            fidelity=fidelity,
+            cost=self.costs[fidelity],
+            metrics={key: _plain(value) for key, value in metrics.items()},
+            objectives=objectives,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_multi(
+        self, x: np.ndarray, fidelity: str
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Subclass hook: return ``(objectives, constraints, metrics)``."""
+        raise NotImplementedError
+
+    def _evaluate(self, x, fidelity):
+        raise TypeError(
+            "MultiObjectiveProblem subclasses implement _evaluate_multi; "
+            "the scalar _evaluate hook does not apply"
+        )
+
+
+class ZDT1Problem(MultiObjectiveProblem):
+    """Two-fidelity ZDT1: the standard convex bi-objective benchmark.
+
+    High fidelity is the classic ZDT1 on ``[0, 1]^d``::
+
+        f1 = x1
+        f2 = g * (1 - sqrt(x1 / g)),   g = 1 + 9 * mean(x[1:])
+
+    whose Pareto front is ``f2 = 1 - sqrt(f1)`` at ``x[1:] = 0``. The
+    low fidelity is systematically wrong the way a coarse simulator is:
+    ``f1`` is shrunk and shifted, ``f2`` is scaled with a smooth
+    input-dependent ripple — strongly correlated with the truth, so the
+    NARGP/AR1 fusion has structure to exploit, but biased enough that
+    optimizing the coarse model alone misplaces the front.
+
+    With ``constrained=True`` a single constraint ``c = 0.3 - x1 <= 0``
+    cuts off the low-``f1`` end of the front, exercising the
+    constrained-domination rules of the Pareto archive.
+    """
+
+    def __init__(self, dim: int = 2, constrained: bool = False):
+        if dim < 2:
+            raise ValueError("ZDT1 needs at least two variables")
+        space = DesignSpace(
+            [Variable(f"x{i + 1}", 0.0, 1.0) for i in range(dim)]
+        )
+        super().__init__(
+            space=space,
+            n_objectives=2,
+            objective_names=("f1", "f2"),
+            n_constraints=1 if constrained else 0,
+            fidelities=(FIDELITY_LOW, FIDELITY_HIGH),
+            costs={FIDELITY_LOW: 0.1, FIDELITY_HIGH: 1.0},
+        )
+        self.constrained = bool(constrained)
+        self.name = "zdt1-mf-constrained" if constrained else "zdt1-mf"
+
+    def _evaluate_multi(self, x, fidelity):
+        x1 = float(x[0])
+        g = 1.0 + 9.0 * float(np.mean(x[1:]))
+        f1 = x1
+        f2 = g * (1.0 - np.sqrt(x1 / g))
+        if fidelity == FIDELITY_LOW:
+            f1 = 0.85 * x1 + 0.05
+            f2 = 0.8 * f2 + 0.3 + 0.1 * np.sin(4.0 * np.pi * x1)
+        constraints = (
+            np.array([0.3 - f1]) if self.constrained else np.empty(0)
+        )
+        return np.array([f1, f2]), constraints, {"g": g}

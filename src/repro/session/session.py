@@ -57,6 +57,7 @@ _STRATEGY_REGISTRY: dict[str, str] = {
     "gaspad": "repro.baselines.gaspad:GASPAD",
     "de": "repro.baselines.de_opt:DEOptimizer",
     "random_search": "repro.baselines.random_opt:RandomSearchOptimizer",
+    "momfbo": "repro.moo.optimizer:MOMFBOptimizer",
 }
 
 

@@ -29,7 +29,7 @@ class TestCLI:
     def test_artifact_list_complete(self):
         assert set(ARTIFACTS) == {
             "fig1", "fig2", "fig3", "fig4", "tab1", "tab2", "tab3",
-            "tab4", "abl1", "abl2", "abl3",
+            "tab4", "tab5", "abl1", "abl2", "abl3",
         }
 
     def test_full_flag_sets_env(self, monkeypatch, capsys):

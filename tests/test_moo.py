@@ -1,0 +1,353 @@
+"""Pareto archive, hypervolume and multi-objective acquisition tests.
+
+The hypervolume implementations (2-D sweep, WFG recursion) are pinned
+three ways: against each other on shared cases, against brute-force
+Monte-Carlo integration on random fronts, and by hypothesis property
+tests (permutation invariance, monotonicity under insertion, agreement
+with the brute-force domination check).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moo import (
+    ExpectedHypervolumeImprovement,
+    ParEGOScalarizer,
+    ParetoArchive,
+    constrained_non_dominated_mask,
+    dominates,
+    draw_simplex_weights,
+    ehvi_2d,
+    exclusive_hypervolume,
+    hypervolume,
+    hypervolume_contributions,
+    monte_carlo_hypervolume,
+    non_dominated_mask,
+    non_dominated_sort,
+)
+
+
+def brute_force_mask(points):
+    """O(n^2) reference implementation of the non-dominated mask."""
+    n = points.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i != j and dominates(points[j], points[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+def point_sets(min_dim=2, max_dim=4, max_points=12):
+    """Hypothesis strategy: random objective matrices on [0, 1]^m."""
+    return st.integers(min_dim, max_dim).flatmap(
+        lambda m: st.integers(1, max_points).flatmap(
+            lambda n: st.lists(
+                st.lists(
+                    st.floats(0.0, 1.0, allow_nan=False, width=32),
+                    min_size=m, max_size=m,
+                ),
+                min_size=n, max_size=n,
+            ).map(lambda rows: np.array(rows, dtype=float))
+        )
+    )
+
+
+class TestDomination:
+    def test_dominates_basic(self):
+        assert dominates([0.0, 0.0], [1.0, 1.0])
+        assert dominates([0.0, 1.0], [0.0, 2.0])
+        assert not dominates([0.0, 1.0], [1.0, 0.0])
+        assert not dominates([1.0, 1.0], [1.0, 1.0])  # equal: no
+
+    @given(point_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_mask_matches_brute_force(self, points):
+        np.testing.assert_array_equal(
+            non_dominated_mask(points), brute_force_mask(points)
+        )
+
+    @given(point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_sort_rank0_is_mask(self, points):
+        ranks = non_dominated_sort(points)
+        np.testing.assert_array_equal(
+            ranks == 0, non_dominated_mask(points)
+        )
+        assert np.all(ranks >= 0)
+
+    def test_constrained_mask_feasibility_first(self):
+        objectives = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        violations = np.array([2.0, 0.0, 0.0])
+        mask = constrained_non_dominated_mask(objectives, violations)
+        # The dominating-but-infeasible first row loses to both feasible
+        # ones; (1,1) is dominated by (0.5,0.5).
+        np.testing.assert_array_equal(mask, [False, False, True])
+
+    def test_constrained_mask_no_feasible_points(self):
+        objectives = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        violations = np.array([3.0, 1.0, 1.0])
+        mask = constrained_non_dominated_mask(objectives, violations)
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+
+class TestHypervolume:
+    def test_single_point_box(self):
+        assert hypervolume([[0.25, 0.5]], [1.0, 1.0]) == pytest.approx(0.375)
+        assert hypervolume([[0.0, 0.0, 0.0]], [1.0, 2.0, 3.0]) == (
+            pytest.approx(6.0)
+        )
+
+    def test_known_2d_staircase(self):
+        front = [[0.1, 0.7], [0.4, 0.4], [0.7, 0.1]]
+        # strips: (1-0.1)*(1-0.7) + (1-0.4)*(0.7-0.4) + (1-0.7)*(0.4-0.1)
+        assert hypervolume(front, [1.0, 1.0]) == pytest.approx(0.54)
+
+    def test_out_of_box_points_ignored(self):
+        assert hypervolume([[2.0, 2.0]], [1.0, 1.0]) == 0.0
+        assert hypervolume(
+            [[0.5, 0.5], [0.2, 1.5]], [1.0, 1.0]
+        ) == pytest.approx(0.25)
+
+    def test_empty_front(self):
+        assert hypervolume(np.empty((0, 2)), [1.0, 1.0]) == 0.0
+
+    def test_3d_union_of_two_boxes(self):
+        # vol(a) + vol(b) - vol(overlap), computable by hand
+        a, b = [0.0, 0.5, 0.5], [0.5, 0.0, 0.0]
+        ref = [1.0, 1.0, 1.0]
+        expected = 1.0 * 0.5 * 0.5 + 0.5 * 1.0 * 1.0 - 0.5 * 0.5 * 0.5
+        assert hypervolume([a, b], ref) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_matches_monte_carlo(self, m):
+        rng = np.random.default_rng(42 + m)
+        for _ in range(3):
+            points = rng.uniform(0.0, 1.0, size=(10, m))
+            ref = np.full(m, 1.1)
+            exact = hypervolume(points, ref)
+            estimate = monte_carlo_hypervolume(
+                points, ref, n_samples=120_000, rng=rng
+            )
+            assert exact == pytest.approx(estimate, abs=0.02)
+
+    @given(point_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance(self, points, pyrandom):
+        ref = np.full(points.shape[1], 1.1)
+        order = list(range(points.shape[0]))
+        pyrandom.shuffle(order)
+        assert hypervolume(points, ref) == pytest.approx(
+            hypervolume(points[order], ref), rel=1e-9, abs=1e-12
+        )
+
+    @given(point_sets(), point_sets(min_dim=2, max_dim=2, max_points=1))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_under_insertion(self, points, extra):
+        m = points.shape[1]
+        rng = np.random.default_rng(0)
+        new_point = rng.uniform(0.0, 1.0, size=m)
+        ref = np.full(m, 1.1)
+        before = hypervolume(points, ref)
+        after = hypervolume(np.vstack([points, new_point]), ref)
+        assert after >= before - 1e-12
+        gain = exclusive_hypervolume(new_point, points, ref)
+        assert after - before == pytest.approx(gain, rel=1e-9, abs=1e-12)
+
+    @given(point_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_dominated_points_contribute_nothing(self, points):
+        ref = np.full(points.shape[1], 1.1)
+        mask = non_dominated_mask(points)
+        assert hypervolume(points, ref) == pytest.approx(
+            hypervolume(points[mask], ref), rel=1e-9, abs=1e-12
+        )
+
+    def test_contributions_match_leave_one_out(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0.0, 1.0, size=(8, 3))
+        ref = np.full(3, 1.1)
+        contributions = hypervolume_contributions(points, ref)
+        total = hypervolume(points, ref)
+        for i in range(points.shape[0]):
+            loo = hypervolume(np.delete(points, i, axis=0), ref)
+            assert contributions[i] == pytest.approx(
+                total - loo, rel=1e-9, abs=1e-12
+            )
+
+
+class TestParetoArchive:
+    def test_incremental_matches_batch_sort(self):
+        rng = np.random.default_rng(11)
+        points = rng.uniform(0.0, 1.0, size=(60, 2))
+        archive = ParetoArchive(2)
+        for i, p in enumerate(points):
+            archive.add(np.array([i / 60.0, 0.0]), p)
+        expected = points[non_dominated_mask(points)]
+        got = archive.front()
+        assert sorted(map(tuple, got)) == sorted(map(tuple, expected))
+
+    def test_insertion_order_invariance(self):
+        rng = np.random.default_rng(12)
+        points = rng.uniform(0.0, 1.0, size=(25, 3))
+        fronts = []
+        for seed in range(3):
+            order = np.random.default_rng(seed).permutation(len(points))
+            archive = ParetoArchive(3)
+            for i in order:
+                archive.add(np.zeros(2), points[i])
+            fronts.append(sorted(map(tuple, archive.front())))
+        assert fronts[0] == fronts[1] == fronts[2]
+
+    def test_feasible_evicts_violation_phase(self):
+        archive = ParetoArchive(2)
+        assert archive.add(np.zeros(1), [0.1, 0.1], violation=2.0)
+        assert archive.add(np.zeros(1), [0.2, 0.2], violation=1.0)
+        assert not archive.has_feasible
+        assert len(archive) == 1  # lower violation displaced the first
+        assert archive.add(np.zeros(1), [9.0, 9.0], violation=0.0)
+        assert archive.has_feasible and len(archive) == 1
+        # infeasible candidates are now always rejected
+        assert not archive.add(np.zeros(1), [0.0, 0.0], violation=0.5)
+
+    def test_rejects_non_finite(self):
+        archive = ParetoArchive(2)
+        assert not archive.add(np.zeros(1), [np.inf, 0.0])
+        assert not archive.add(np.zeros(1), [np.nan, 0.0])
+        assert len(archive) == 0
+
+    @given(point_sets(min_dim=2, max_dim=3))
+    @settings(max_examples=40, deadline=None)
+    def test_front_is_nondominated_subset(self, points):
+        archive = ParetoArchive(points.shape[1])
+        for p in points:
+            archive.add(np.zeros(1), p)
+        front = archive.front()
+        assert front.shape[0] >= 1
+        assert np.all(non_dominated_mask(front))
+        expected = points[non_dominated_mask(points)]
+        assert sorted(map(tuple, front)) == sorted(map(tuple, expected))
+
+
+def _gaussian_predictor(mu, var):
+    mu = np.asarray(mu, dtype=float)
+    var = np.asarray(var, dtype=float)
+
+    def predictor(x):
+        n = np.atleast_2d(x).shape[0]
+        return np.full(n, mu), np.full(n, var)
+
+    return predictor
+
+
+class TestEHVI:
+    FRONT = np.array([[0.2, 0.8], [0.5, 0.5], [0.8, 0.2]])
+    REF = np.array([1.0, 1.0])
+
+    def test_empty_front_is_product_of_partial_expectations(self):
+        from scipy.stats import norm
+
+        mu, s = np.array([[0.4, 0.6]]), 0.05
+        value = ehvi_2d(mu, np.full((1, 2), s**2), np.empty((0, 2)), self.REF)
+
+        def eplus(c, m):
+            lam = (c - m) / s
+            return s * norm.pdf(lam) + (c - m) * norm.cdf(lam)
+
+        assert value[0] == pytest.approx(
+            eplus(1.0, 0.4) * eplus(1.0, 0.6), rel=1e-12
+        )
+
+    def test_closed_form_matches_monte_carlo(self):
+        rng = np.random.default_rng(7)
+        mu = np.array([[0.35, 0.35], [0.6, 0.9], [0.05, 0.95]])
+        sigma = 0.1
+        exact = ehvi_2d(mu, np.full_like(mu, sigma**2), self.FRONT, self.REF)
+        z = rng.standard_normal((40_000, 2))
+        for i in range(mu.shape[0]):
+            samples = mu[i][None, :] + sigma * z
+            mc = np.mean(
+                [
+                    exclusive_hypervolume(s, self.FRONT, self.REF)
+                    for s in samples
+                ]
+            )
+            assert exact[i] == pytest.approx(mc, abs=3e-3)
+
+    def test_deep_in_dominated_region_is_negligible(self):
+        value = ehvi_2d(
+            np.array([[0.95, 0.95]]), np.full((1, 2), 1e-4),
+            self.FRONT, self.REF,
+        )
+        assert value[0] < 1e-8
+
+    def test_tiny_variance_recovers_plain_improvement(self):
+        candidate = np.array([0.1, 0.1])
+        value = ehvi_2d(
+            candidate[None, :], np.full((1, 2), 1e-16), self.FRONT, self.REF
+        )
+        expected = exclusive_hypervolume(candidate, self.FRONT, self.REF)
+        assert value[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_acquisition_object_2d_and_constraints(self):
+        objective_predictors = [
+            _gaussian_predictor(0.1, 0.01), _gaussian_predictor(0.1, 0.01),
+        ]
+        base = ExpectedHypervolumeImprovement(
+            objective_predictors, self.FRONT, self.REF
+        )
+        # A constraint that is surely violated wipes out the acquisition.
+        sure_violation = _gaussian_predictor(10.0, 1e-6)
+        constrained = ExpectedHypervolumeImprovement(
+            objective_predictors, self.FRONT, self.REF,
+            constraint_predictors=[sure_violation],
+        )
+        x = np.zeros((1, 2))
+        assert base(x)[0] > 0
+        assert constrained(x)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_mc_path_requires_z_for_3d(self):
+        predictors = [_gaussian_predictor(0.5, 0.01)] * 3
+        with pytest.raises(ValueError):
+            ExpectedHypervolumeImprovement(
+                predictors, np.empty((0, 3)), np.ones(3)
+            )
+        z = np.random.default_rng(0).standard_normal((64, 3))
+        acq = ExpectedHypervolumeImprovement(
+            predictors, np.empty((0, 3)), np.ones(3), z=z
+        )
+        values = acq(np.zeros((2, 4)))
+        assert values.shape == (2,) and np.all(values > 0)
+        # fixed draws -> deterministic acquisition
+        np.testing.assert_array_equal(values, acq(np.zeros((2, 4))))
+
+
+class TestParEGO:
+    def test_weights_on_simplex(self):
+        rng = np.random.default_rng(0)
+        for m in (2, 3, 5):
+            w = draw_simplex_weights(m, rng)
+            assert w.shape == (m,) and np.all(w >= 0)
+            assert np.sum(w) == pytest.approx(1.0)
+
+    def test_scalarization_preserves_domination(self):
+        rng = np.random.default_rng(1)
+        ideal, nadir = np.zeros(3), np.ones(3)
+        for _ in range(20):
+            scalarizer = ParEGOScalarizer(
+                draw_simplex_weights(3, rng), ideal, nadir
+            )
+            a = rng.uniform(0.0, 0.9, size=3)
+            b = a + rng.uniform(0.01, 0.1, size=3)  # a dominates b
+            va, vb = scalarizer.scalarize(np.vstack([a, b]))
+            assert va < vb
+
+    def test_degenerate_span_does_not_nan(self):
+        scalarizer = ParEGOScalarizer(
+            np.array([0.5, 0.5]), np.zeros(2), np.zeros(2)
+        )
+        values = scalarizer.scalarize(np.array([[1.0, 2.0]]))
+        assert np.all(np.isfinite(values))

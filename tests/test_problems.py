@@ -170,3 +170,39 @@ class TestConstrainedProblems:
         assert problem.cost(FIDELITY_LOW) == pytest.approx(1 / 25.0)
         with pytest.raises(ValueError):
             GardnerProblem(cost_ratio=0.5)
+
+
+class TestFeasibilityBoundary:
+    """Regression: ``c_i == 0`` sits exactly on the specification and is
+    feasible under the paper's ``c_i(x) <= 0`` convention. The old
+    strict ``< 0`` check silently classified boundary designs as
+    infeasible while reporting zero violation."""
+
+    def _evaluation(self, constraints):
+        from repro.problems import Evaluation
+
+        return Evaluation(
+            objective=1.0,
+            constraints=np.asarray(constraints, dtype=float),
+            fidelity=FIDELITY_HIGH,
+            cost=1.0,
+        )
+
+    def test_boundary_constraint_is_feasible(self):
+        boundary = self._evaluation([0.0, -1.0])
+        assert boundary.feasible
+        assert boundary.total_violation == 0.0
+
+    def test_feasible_consistent_with_violation(self):
+        """feasible <=> total_violation == 0 on every sign pattern."""
+        for constraints in ([-1.0], [0.0], [1e-12], [0.0, 0.0], [-2.0, 3.0]):
+            evaluation = self._evaluation(constraints)
+            assert evaluation.feasible == (evaluation.total_violation == 0.0)
+
+    def test_history_accepts_boundary_incumbent(self):
+        from repro.core import History
+
+        history = History()
+        history.add(np.array([0.5]), self._evaluation([0.0]))
+        best = history.best_feasible(FIDELITY_HIGH)
+        assert best is not None and best.objective == 1.0
