@@ -41,6 +41,7 @@ SUBSTRATE_SUITE = "benchmarks/test_substrate_perf.py"
 SESSION_SUITE = "benchmarks/test_session_overhead.py"
 SPARSE_SUITE = "benchmarks/test_substrate_sparse.py"
 MOO_SUITE = "benchmarks/test_moo_perf.py"
+FARM_SUITE = "benchmarks/test_farm_throughput.py"
 
 
 def default_output_name() -> str:
@@ -172,15 +173,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke and args.out:
         parser.error("--smoke writes no JSON; drop --out or --smoke")
     # The default targets (and the CI --smoke breakage check) cover the
-    # session_overhead, sparse-backend and multi-objective suites too:
-    # the ask/tell layer must keep producing the legacy trajectories,
-    # both solver backends must keep solving the large-circuit scenario,
-    # and the hypervolume/EHVI/MOMFBO hot paths stay under the perf
-    # guard.
+    # session_overhead, sparse-backend, multi-objective and farm
+    # throughput suites too: the ask/tell layer must keep producing the
+    # legacy trajectories, both solver backends must keep solving the
+    # large-circuit scenario, the hypervolume/EHVI/MOMFBO hot paths stay
+    # under the perf guard, and the async farm must hold its >= 3x
+    # advantage over the barrier pool on heterogeneous latencies.
     targets = (
         ["benchmarks"]
         if args.all
-        else [SUBSTRATE_SUITE, SESSION_SUITE, SPARSE_SUITE, MOO_SUITE]
+        else [SUBSTRATE_SUITE, SESSION_SUITE, SPARSE_SUITE, MOO_SUITE,
+              FARM_SUITE]
     )
     if args.smoke:
         return run_suite(targets, None)

@@ -10,6 +10,10 @@ Three ways to drive the paper's optimizer through the session API:
 3. **Checkpoint and resume** — save a session mid-run, rebuild it from
    the JSON checkpoint, and get the exact trajectory the uninterrupted
    run would have produced.
+4. **Asynchronous fault-tolerant farm** — an ``AsyncEvaluator`` streams
+   results back out of completion order, retries transient worker
+   failures and converts hard failures into ``FailedEvaluation`` records
+   the optimizer treats as infeasible.
 
 Run:  python examples/ask_tell.py
 """
@@ -18,6 +22,8 @@ import tempfile
 from pathlib import Path
 
 from repro import (
+    AsyncEvaluator,
+    FaultInjectingEvaluator,
     MFBOptimizer,
     OptimizationSession,
     ProcessPoolEvaluator,
@@ -53,11 +59,13 @@ def manual_ask_tell(seed: int = 0) -> None:
 
 
 def parallel_batches(seed: int = 0) -> None:
-    with ProcessPoolEvaluator(max_workers=3) as evaluator:
-        session = OptimizationSession(
-            MFBOptimizer(ForresterProblem(), seed=seed, **SETTINGS),
-            evaluator=evaluator,
-        )
+    # own_evaluator=True hands the pool's lifetime to the session, so
+    # leaving the with-block shuts the workers down.
+    with OptimizationSession(
+        MFBOptimizer(ForresterProblem(), seed=seed, **SETTINGS),
+        evaluator=ProcessPoolEvaluator(max_workers=3),
+        own_evaluator=True,
+    ) as session:
         result = session.run(batch_size=3)   # 3 suggestions per iteration
     print(
         f"  parallel batches  : f = {result.best_objective:+.4f} "
@@ -84,11 +92,37 @@ def checkpoint_resume(seed: int = 0) -> None:
     )
 
 
+def fault_tolerant_farm(seed: int = 0) -> None:
+    # A farm of 2 workers with per-evaluation timeout and retry; the
+    # fault injector kills/hangs/poisons a deterministic 20% of the
+    # evaluations — every casualty lands in the history as an
+    # infeasible FailedEvaluation and the run still exhausts its budget.
+    farm = FaultInjectingEvaluator(
+        AsyncEvaluator(
+            max_workers=2, timeout_s=5.0, max_attempts=3,
+            retry_backoff_s=0.1,
+        ),
+        rate=0.2, hang_s=30.0, seed=7,
+    )
+    with OptimizationSession(
+        MFBOptimizer(ForresterProblem(), seed=seed, **SETTINGS),
+        evaluator=farm,
+        own_evaluator=True,
+    ) as session:
+        result = session.run_async(batch_size=2, over_suggest=1)
+    n_failed = sum(r.evaluation.failed for r in session.history.records)
+    print(
+        f"  fault-tolerant farm: f = {result.best_objective:+.4f} "
+        f"({n_failed} injected failures survived)"
+    )
+
+
 def main() -> None:
     print("Forrester function, true minimum f(x*) = -6.0207")
     manual_ask_tell()
     parallel_batches()
     checkpoint_resume()
+    fault_tolerant_farm()
 
 
 if __name__ == "__main__":

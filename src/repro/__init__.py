@@ -48,12 +48,17 @@ from .problems import (
     FIDELITY_HIGH,
     FIDELITY_LOW,
     Evaluation,
+    FailedEvaluation,
     MultiObjectiveEvaluation,
     MultiObjectiveProblem,
     Problem,
 )
 from .session import (
+    AsyncEvaluator,
+    CheckpointError,
     Evaluator,
+    FaultInjectingEvaluator,
+    FaultSpec,
     OptimizationSession,
     ProcessPoolEvaluator,
     SerialEvaluator,
@@ -79,6 +84,11 @@ __all__ = [
     "Evaluator",
     "SerialEvaluator",
     "ProcessPoolEvaluator",
+    "AsyncEvaluator",
+    "FaultInjectingEvaluator",
+    "FaultSpec",
+    "FailedEvaluation",
+    "CheckpointError",
     "WEIBO",
     "GASPAD",
     "DEOptimizer",

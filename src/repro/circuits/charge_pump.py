@@ -36,6 +36,7 @@ import numpy as np
 
 from ..design.space import DesignSpace, Variable
 from ..problems.base import FIDELITY_HIGH, FIDELITY_LOW, Problem
+from ..spice.dc import ConvergenceError
 from .pvt import N_CORNERS, Corner, all_corners, typical_corner
 
 __all__ = ["ChargePumpProblem", "DEVICE_NAMES", "charge_pump_currents"]
@@ -241,9 +242,22 @@ class ChargePumpProblem(Problem):
     """
 
     name = "charge-pump"
+    failure_exceptions = (ConvergenceError, np.linalg.LinAlgError)
 
     #: eq. (15) thresholds in uA.
     LIMITS = (20.0, 20.0, 5.0, 5.0, 5.0)
+
+    #: Corner statistics reported when the analytic corner evaluation
+    #: cannot complete: every current mismatch pegged far above the
+    #: eq. (15) limits so the failure is heavily infeasible.
+    FAILED_STATS = {
+        "FOM": 1e3,
+        "max_diff1": 1e3,
+        "max_diff2": 1e3,
+        "max_diff3": 1e3,
+        "max_diff4": 1e3,
+        "deviation": 1e3,
+    }
 
     def __init__(self):
         variables = []
@@ -268,6 +282,9 @@ class ChargePumpProblem(Problem):
             self._typical if fidelity == FIDELITY_LOW else self._all_corners
         )
         stats = _corner_statistics(x, corners)
+        return self._outcome_from_stats(stats)
+
+    def _outcome_from_stats(self, stats):
         constraints = np.array(
             [
                 stats["max_diff1"] - self.LIMITS[0],
@@ -278,3 +295,6 @@ class ChargePumpProblem(Problem):
             ]
         )
         return stats["FOM"], constraints, stats
+
+    def _failure_outcome(self, x, fidelity):
+        return self._outcome_from_stats(dict(self.FAILED_STATS))

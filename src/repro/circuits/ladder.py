@@ -171,10 +171,7 @@ def simulate_ladder(
         c_fringe=C_FRINGE * scale,
     )
     far = f"n{n_eff + 1}"
-    try:
-        solution = solve_ac(circuit, 1e6, 1e11, points_per_decade=12, backend=backend)
-    except (ConvergenceError, np.linalg.LinAlgError):
-        return dict(FAILED_METRICS)
+    solution = solve_ac(circuit, 1e6, 1e11, points_per_decade=12, backend=backend)
     gain_db = solution.gain_db(far)
     dc_gain_db = float(gain_db[0])
     # -3 dB bandwidth relative to the DC level, log-interpolated
@@ -220,6 +217,7 @@ class InterconnectLadderProblem(Problem):
     """
 
     name = "interconnect-ladder"
+    failure_exceptions = (ConvergenceError, np.linalg.LinAlgError)
 
     def __init__(
         self,
@@ -257,6 +255,9 @@ class InterconnectLadderProblem(Problem):
             n_sections=self.n_sections,
             backend=self.backend,
         )
+        return self._outcome_from_metrics(metrics)
+
+    def _outcome_from_metrics(self, metrics):
         constraints = np.array(
             [
                 self.bw_min_mhz - metrics["bandwidth_mhz"],
@@ -264,3 +265,8 @@ class InterconnectLadderProblem(Problem):
             ]
         )
         return metrics["fom"], constraints, metrics
+
+    def _failure_outcome(self, x, fidelity):
+        # Same penalty outcome the simulator's in-line FAILED_METRICS
+        # fallback used to produce, so trajectories are unchanged.
+        return self._outcome_from_metrics(dict(FAILED_METRICS))

@@ -127,21 +127,20 @@ def simulate_opamp(
     (unity-gain frequency), ``pm_deg`` (phase margin) and ``power_mw``
     (static supply power). Designs whose bias point cannot be
     established (Newton divergence, or an output stage with no gain
-    path) report :data:`FAILED_METRICS` so the optimizer sees a finite,
-    heavily infeasible evaluation instead of a crash.
+    path) raise ``ConvergenceError``/``LinAlgError``; the problem layer
+    converts those into finite, heavily infeasible
+    :class:`repro.problems.FailedEvaluation` records built from
+    :data:`FAILED_METRICS` (see ``Problem.failure_exceptions``).
     """
     circuit = build_opamp_circuit(w1, w3, w6, rb, cc, LAMBDA[fidelity])
-    try:
-        operating_point = solve_dc(circuit)
-        solution = solve_ac(
-            circuit,
-            F_START_HZ,
-            F_STOP_HZ,
-            n_points=SWEEP_POINTS[fidelity],
-            x_op=operating_point.x,
-        )
-    except (ConvergenceError, np.linalg.LinAlgError):
-        return dict(FAILED_METRICS)
+    operating_point = solve_dc(circuit)
+    solution = solve_ac(
+        circuit,
+        F_START_HZ,
+        F_STOP_HZ,
+        n_points=SWEEP_POINTS[fidelity],
+        x_op=operating_point.x,
+    )
     # The VDD branch current flows out of the positive terminal into the
     # circuit, i.e. it is logged negative; drawn power is -V * I.
     power_w = max(-VDD_V * operating_point.current("VDD"), 0.0)
@@ -198,6 +197,7 @@ class OpAmpProblem(Problem):
     """
 
     name = "two-stage-opamp"
+    failure_exceptions = (ConvergenceError, np.linalg.LinAlgError)
 
     def __init__(
         self,
@@ -229,6 +229,9 @@ class OpAmpProblem(Problem):
     def _evaluate(self, x, fidelity):
         w1, w3, w6, rb, cc = (float(v) for v in x)
         metrics = simulate_opamp(w1, w3, w6, rb, cc, fidelity)
+        return self._outcome_from_metrics(metrics)
+
+    def _outcome_from_metrics(self, metrics):
         objective = metrics["power_mw"]  # minimize static power
         constraints = np.array(
             [
@@ -239,6 +242,11 @@ class OpAmpProblem(Problem):
             ]
         )
         return objective, constraints, metrics
+
+    def _failure_outcome(self, x, fidelity):
+        # Same penalty outcome the simulator's in-line FAILED_METRICS
+        # fallback used to produce, so trajectories are unchanged.
+        return self._outcome_from_metrics(dict(FAILED_METRICS))
 
 
 class ParetoOpAmpProblem(MultiObjectiveProblem):
@@ -259,6 +267,7 @@ class ParetoOpAmpProblem(MultiObjectiveProblem):
     """
 
     name = "pareto-opamp"
+    failure_exceptions = (ConvergenceError, np.linalg.LinAlgError)
 
     def __init__(
         self,
@@ -289,6 +298,9 @@ class ParetoOpAmpProblem(MultiObjectiveProblem):
         w1, w3, w6, rb, cc = (float(v) for v in x)
         metrics = simulate_opamp(w1, w3, w6, rb, cc, fidelity)
         metrics["area_um2"] = opamp_active_area_um2(w1, w3, w6)
+        return self._outcome_from_metrics(metrics)
+
+    def _outcome_from_metrics(self, metrics):
         objectives = np.array(
             [
                 metrics["power_mw"],      # minimize power
@@ -303,3 +315,15 @@ class ParetoOpAmpProblem(MultiObjectiveProblem):
             ]
         )
         return objectives, constraints, metrics
+
+    def _failure_outcome_multi(self, x, fidelity):
+        metrics = dict(FAILED_METRICS)
+        if x is not None:
+            # The area objective needs no simulation; keep the real value
+            # (exactly what the in-line fallback used to report).
+            w1, w3, w6 = (float(v) for v in x[:3])
+            metrics["area_um2"] = opamp_active_area_um2(w1, w3, w6)
+        else:
+            # Farm-level failure with no design attached: worst-case area.
+            metrics["area_um2"] = opamp_active_area_um2(80e-6, 2e-6, 400e-6)
+        return self._outcome_from_metrics(metrics)

@@ -40,6 +40,7 @@ from ..spice.elements import (
     SineWave,
     VoltageSource,
 )
+from ..spice.dc import ConvergenceError
 from ..spice.netlist import Circuit
 from ..spice.transient import simulate_transient
 from ..spice.waveform import thd_db, to_dbm
@@ -67,6 +68,10 @@ STEPS_PER_PERIOD = 40
 SIM_PERIODS = {FIDELITY_LOW: 2, FIDELITY_HIGH: 40}
 MEASURE_PERIODS = {FIDELITY_LOW: 1, FIDELITY_HIGH: 8}
 COST_RATIO = SIM_PERIODS[FIDELITY_HIGH] / SIM_PERIODS[FIDELITY_LOW]
+#: Metrics reported when the transient simulation cannot complete: no
+#: efficiency, an output floor far below any spec and saturated
+#: distortion, so the failure is heavily infeasible at every threshold.
+FAILED_METRICS = {"Eff": 0.0, "Pout": -100.0, "thd": 100.0}
 
 
 def build_pa_circuit(
@@ -170,6 +175,7 @@ class PowerAmplifierProblem(Problem):
     """
 
     name = "power-amplifier"
+    failure_exceptions = (ConvergenceError, np.linalg.LinAlgError)
 
     def __init__(
         self,
@@ -197,6 +203,9 @@ class PowerAmplifierProblem(Problem):
     def _evaluate(self, x, fidelity):
         cs, cp, w, vdd, vb = (float(v) for v in x)
         metrics = simulate_pa(cs, cp, w, vdd, vb, fidelity)
+        return self._outcome_from_metrics(metrics)
+
+    def _outcome_from_metrics(self, metrics):
         objective = -metrics["Eff"]  # maximize efficiency
         constraints = np.array(
             [
@@ -205,6 +214,9 @@ class PowerAmplifierProblem(Problem):
             ]
         )
         return objective, constraints, metrics
+
+    def _failure_outcome(self, x, fidelity):
+        return self._outcome_from_metrics(dict(FAILED_METRICS))
 
 
 class ParetoPowerAmplifierProblem(MultiObjectiveProblem):
@@ -222,6 +234,7 @@ class ParetoPowerAmplifierProblem(MultiObjectiveProblem):
     """
 
     name = "pareto-pa"
+    failure_exceptions = (ConvergenceError, np.linalg.LinAlgError)
 
     def __init__(self, thd_max_db: float = 26.0):
         space = DesignSpace(
@@ -246,6 +259,12 @@ class ParetoPowerAmplifierProblem(MultiObjectiveProblem):
     def _evaluate_multi(self, x, fidelity):
         cs, cp, w, vdd, vb = (float(v) for v in x)
         metrics = simulate_pa(cs, cp, w, vdd, vb, fidelity)
+        return self._outcome_from_metrics(metrics)
+
+    def _outcome_from_metrics(self, metrics):
         objectives = np.array([-metrics["Eff"], -metrics["Pout"]])
         constraints = np.array([metrics["thd"] - self.thd_max_db])
         return objectives, constraints, metrics
+
+    def _failure_outcome_multi(self, x, fidelity):
+        return self._outcome_from_metrics(dict(FAILED_METRICS))

@@ -401,6 +401,15 @@ class MFBOptimizer(StrategyBase):
         *copies* of the models with its posterior-mean outcome, and the
         acquisition search repeats — yielding distinct batch members
         without spending any simulation budget.
+
+        Suggestions still in flight on an asynchronous evaluator are
+        fantasized the same way before the batch loop (and their cost
+        counted against the budget), so an out-of-order refill neither
+        re-proposes nor re-budgets them; once the real evaluation lands,
+        :meth:`observe` retracts the pending entry and the next refill
+        replaces the fantasy with the truth. With an empty pending set —
+        every synchronous driver — this block is a no-op and the
+        trajectory is bit-identical to the serial path.
         """
         self._iteration += 1
         low_models, fused_models = self._fit_models(self._iteration)
@@ -408,8 +417,17 @@ class MFBOptimizer(StrategyBase):
 
         cur_low, cur_fused = low_models, fused_models
         fantasy = None  # lazily created copies + growing data arrays
-        projected = self.history.total_cost
+        projected = self.history.total_cost + self.pending_cost
         avoid: list[np.ndarray] = []
+        if self._pending:
+            cur_low, cur_fused = copy.deepcopy((low_models, fused_models))
+            fantasy = self._fantasy_data()
+            for s in self._pending:
+                x_pending = np.asarray(s.x_unit, dtype=float).ravel()
+                self._fantasize(
+                    cur_low, cur_fused, fantasy, x_pending, s.fidelity
+                )
+                avoid.append(x_pending)
         for j in range(k):
             x_next = self._propose(cur_low, cur_fused, z, avoid)
 

@@ -116,6 +116,7 @@ class StrategyBase:
         self.history = History()
         self._iteration = 0
         self._queue: list[Suggestion] = []
+        self._pending: list[Suggestion] = []
         self._init_drawn = False
         self._stopped = False
 
@@ -139,6 +140,7 @@ class StrategyBase:
             self._refill(k)
         batch = self._queue[:k]
         del self._queue[:k]
+        self._pending.extend(batch)
         return batch
 
     def observe(
@@ -146,21 +148,97 @@ class StrategyBase:
     ) -> Record:
         """Feed back one completed evaluation.
 
-        Observations must arrive in suggestion order (population-based
-        strategies aggregate a full generation before selection).
+        Synchronous drivers feed observations back in suggestion order
+        (population-based strategies aggregate a full generation before
+        selection); model-based strategies also accept out-of-order
+        feedback from an asynchronous evaluator — the matching pending
+        suggestion is retracted so the next refill replaces its
+        constant-liar fantasy with the real outcome.
+
+        Non-finite objective/constraint values are routed through the
+        problem's failure path instead of being recorded verbatim: a NaN
+        from a flaky simulator becomes a finite, infeasible
+        :class:`repro.problems.FailedEvaluation` rather than poisoning
+        the GP fits downstream.
         """
         if evaluation.fidelity != fidelity:
             raise ValueError(
                 f"evaluation was run at fidelity {evaluation.fidelity!r} "
                 f"but observed as {fidelity!r}"
             )
+        x_unit = np.asarray(x_unit, dtype=float).ravel()
+        evaluation = self._validate_finite(x_unit, evaluation)
+        self._retract_pending(x_unit, fidelity)
         record = self.history.add(
-            np.asarray(x_unit, dtype=float).ravel(),
+            x_unit,
             evaluation,
             iteration=self._iteration,
         )
         self._after_observe(record)
         return record
+
+    def _validate_finite(
+        self, x_unit: np.ndarray, evaluation: Evaluation
+    ) -> Evaluation:
+        """Convert a non-finite evaluation into a failed one."""
+        if evaluation.failed:
+            return evaluation
+        values = np.concatenate(
+            (
+                [evaluation.objective],
+                evaluation.constraints,
+                getattr(evaluation, "objectives", ()),
+            )
+        )
+        if np.all(np.isfinite(values)):
+            return evaluation
+        x = self.problem.space.from_unit(np.clip(x_unit, 0.0, 1.0))
+        return self.problem.failure_evaluation(
+            evaluation.fidelity,
+            x=x,
+            error=(
+                "non-finite evaluation result "
+                f"(objective={evaluation.objective!r})"
+            ),
+            error_type="NonFiniteEvaluation",
+            metrics=evaluation.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # pending (in-flight) suggestion tracking
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> list[Suggestion]:
+        """Suggestions handed out by :meth:`suggest` but not observed yet."""
+        return list(self._pending)
+
+    @property
+    def pending_cost(self) -> float:
+        """Budget already committed to in-flight suggestions."""
+        return float(
+            sum(self.problem.cost(s.fidelity) for s in self._pending)
+        )
+
+    def _retract_pending(self, x_unit: np.ndarray, fidelity: str) -> None:
+        """Drop the pending entry matching an observed evaluation.
+
+        Exact array match first; an ``allclose`` pass second, in case
+        the caller round-tripped the design through a lossy encoding.
+        Observations of never-suggested points (externally produced
+        data) simply leave the pending set untouched.
+        """
+        for i, s in enumerate(self._pending):
+            if s.fidelity == fidelity and np.array_equal(s.x_unit, x_unit):
+                del self._pending[i]
+                return
+        for i, s in enumerate(self._pending):
+            if (
+                s.fidelity == fidelity
+                and np.shape(s.x_unit) == x_unit.shape
+                and np.allclose(s.x_unit, x_unit, rtol=0.0, atol=1e-12)
+            ):
+                del self._pending[i]
+                return
 
     def _after_observe(self, record: Record) -> None:
         if self.callback is not None and self._iteration >= 1:
@@ -222,6 +300,7 @@ class StrategyBase:
             "init_drawn": bool(self._init_drawn),
             "stopped": bool(self._stopped),
             "queue": queue_to_state(self._queue),
+            "pending": queue_to_state(self._pending),
             "rng": {
                 "root": rng_state(self.rng),
                 **{
@@ -252,7 +331,14 @@ class StrategyBase:
         self._iteration = int(state["iteration"])
         self._init_drawn = bool(state["init_drawn"])
         self._stopped = bool(state["stopped"])
-        self._queue = queue_from_state(state["queue"])
+        # Suggestions that were in flight at checkpoint time were never
+        # observed, so their budget was never spent: put them at the
+        # front of the queue for re-dispatch. A killed session therefore
+        # neither loses nor double-spends those evaluations on resume.
+        self._queue = queue_from_state(state.get("pending", [])) + (
+            queue_from_state(state["queue"])
+        )
+        self._pending = []
         set_rng_state(self.rng, state["rng"]["root"])
         for name, gen in self._rng_streams.items():
             set_rng_state(gen, state["rng"][name])

@@ -67,7 +67,8 @@ def _run_scenario(
         gp_max_opt_iter=scale.gp_max_opt_iter,
         seed=seed,
     )
-    OptimizationSession(optimizer).run()
+    with OptimizationSession(optimizer) as session:
+        session.run()
     trace = optimizer.hypervolume_trace()
     front = optimizer.archive.front()
     summary = optimizer.pareto_summary()

@@ -43,9 +43,10 @@ def run_strategy(optimizer, evaluator=None, batch_size: int = 1) -> BOResult:
     ):
         from ..session.session import OptimizationSession
 
-        return OptimizationSession(optimizer, evaluator=evaluator).run(
-            batch_size=batch_size
-        )
+        # The with-statement closes session-owned evaluators; a caller
+        # supplied evaluator is shared across runs and stays open.
+        with OptimizationSession(optimizer, evaluator=evaluator) as session:
+            return session.run(batch_size=batch_size)
     return optimizer.run()
 
 

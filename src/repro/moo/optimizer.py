@@ -521,9 +521,29 @@ class MOMFBOptimizer(StrategyBase):
                 scalarizer, constraint_pairs
             )
 
-        projected = self.history.total_cost
+        projected = self.history.total_cost + self.pending_cost
         avoid: list[np.ndarray] = []
         fantasy_front: list[np.ndarray] = []
+        # In-flight suggestions (asynchronous evaluators): count their
+        # budget, avoid re-proposing them and — on the EHVI path — lie
+        # about their outcome with the fused posterior mean so the batch
+        # targets untouched parts of the front. Empty for synchronous
+        # drivers, keeping serial trajectories bit-identical. Observed
+        # results retract their pending entry, so the next refill swaps
+        # each fantasy for the real outcome.
+        for s in self._pending:
+            x_pending = np.asarray(s.x_unit, dtype=float).ravel()
+            avoid.append(x_pending)
+            if self.acquisition == "ehvi":
+                x2 = x_pending[None, :]
+                fantasy_front.append(
+                    np.array(
+                        [
+                            float(model.predict_mean_path(x2)[0][0])
+                            for model in fused_models[:m]
+                        ]
+                    )
+                )
         for j in range(k):
             if j > 0 and self.acquisition == "parego":
                 # Classic ParEGO batching: each member optimizes its own

@@ -19,7 +19,13 @@ import numpy as np
 
 from ..design.space import DesignSpace
 
-__all__ = ["Evaluation", "Problem", "FIDELITY_LOW", "FIDELITY_HIGH"]
+__all__ = [
+    "Evaluation",
+    "FailedEvaluation",
+    "Problem",
+    "FIDELITY_LOW",
+    "FIDELITY_HIGH",
+]
 
 FIDELITY_LOW = "low"
 FIDELITY_HIGH = "high"
@@ -62,6 +68,16 @@ class Evaluation:
         return bool(np.all(self.constraints <= 0.0))
 
     @property
+    def failed(self) -> bool:
+        """True when the simulation did not complete normally.
+
+        Failed evaluations (see :class:`FailedEvaluation`) carry finite
+        penalty outcomes so models can still train on them, but they are
+        never feasible and never become incumbents.
+        """
+        return False
+
+    @property
     def total_violation(self) -> float:
         """Sum of positive constraint values (0 when feasible)."""
         if self.constraints.size == 0:
@@ -86,25 +102,110 @@ class Evaluation:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "Evaluation":
-        """Rebuild an evaluation from :meth:`to_dict` output.
+    def _kwargs_from(cls, payload: dict) -> dict:
+        """Constructor kwargs encoded in a :meth:`to_dict` payload.
 
-        Payloads carrying an ``objectives`` vector are dispatched to
-        :class:`repro.problems.MultiObjectiveEvaluation`, so histories
-        mixing single- and multi-objective records round-trip through
-        the session checkpoint format unchanged.
+        Subclasses extend this cooperatively (``super()._kwargs_from``)
+        so multiple-inheritance combinations — e.g. a failed
+        multi-objective evaluation — deserialize every layer.
         """
-        if cls is Evaluation and "objectives" in payload:
-            from .multi import MultiObjectiveEvaluation
-
-            return MultiObjectiveEvaluation.from_dict(payload)
-        return cls(
+        return dict(
             objective=float(payload["objective"]),
             constraints=np.asarray(payload["constraints"], dtype=float),
             fidelity=str(payload["fidelity"]),
             cost=float(payload["cost"]),
             metrics=dict(payload.get("metrics", {})),
         )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Evaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output.
+
+        Called on the base class, payloads are dispatched on their
+        marker keys — an ``objectives`` vector selects
+        :class:`repro.problems.MultiObjectiveEvaluation`, a ``failure``
+        block selects :class:`FailedEvaluation`, both select the
+        combined class — so histories mixing record kinds round-trip
+        through the session checkpoint format unchanged.
+        """
+        target = cls
+        if cls is Evaluation:
+            multi = "objectives" in payload
+            failed = "failure" in payload
+            if multi and failed:
+                from .multi import FailedMultiObjectiveEvaluation
+
+                target = FailedMultiObjectiveEvaluation
+            elif multi:
+                from .multi import MultiObjectiveEvaluation
+
+                target = MultiObjectiveEvaluation
+            elif failed:
+                target = FailedEvaluation
+        return target(**target._kwargs_from(payload))
+
+
+@dataclass(frozen=True)
+class FailedEvaluation(Evaluation):
+    """An evaluation that did not complete normally.
+
+    Failure is first-class data instead of an exception: the evaluation
+    layer (worker crash, wall-clock timeout, a simulator convergence
+    error, a non-finite result) resolves to one of these and the
+    optimization continues. The penalty ``objective``/``constraints``
+    come from :meth:`Problem.failure_evaluation`, are always finite and
+    always infeasible, so strategies fold the failure in as a heavily
+    infeasible data point rather than crashing or poisoning a GP fit.
+
+    Attributes
+    ----------
+    error_type:
+        Exception class name (or a farm-level tag such as
+        ``"EvaluationTimeout"`` / ``"WorkerDied"``).
+    error:
+        Human-readable message of the captured failure.
+    attempts:
+        How many evaluation attempts were spent, including retries.
+    wall_time_s:
+        Total wall-clock time spent across all attempts.
+    """
+
+    error_type: str = "Exception"
+    error: str = ""
+    attempts: int = 1
+    wall_time_s: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    @property
+    def feasible(self) -> bool:
+        """A failed evaluation is never feasible, whatever its penalty
+        constraint values say."""
+        return False
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["failure"] = {
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": int(self.attempts),
+            "wall_time_s": float(self.wall_time_s),
+        }
+        return payload
+
+    @classmethod
+    def _kwargs_from(cls, payload: dict) -> dict:
+        kwargs = super()._kwargs_from(payload)
+        failure = payload.get("failure", {})
+        kwargs.update(
+            error_type=str(failure.get("error_type", "Exception")),
+            error=str(failure.get("error", "")),
+            attempts=int(failure.get("attempts", 1)),
+            wall_time_s=float(failure.get("wall_time_s", 0.0)),
+        )
+        return kwargs
 
 
 def _plain(value):
@@ -127,6 +228,16 @@ class Problem:
 
     #: Name used in reports.
     name: str = "problem"
+
+    #: Exception types :meth:`evaluate` converts into a
+    #: :class:`FailedEvaluation` instead of propagating. Circuit
+    #: testbenches register their simulator's convergence errors here so
+    #: every scenario degrades identically; the empty default preserves
+    #: plain crash-on-error semantics for synthetic problems.
+    failure_exceptions: tuple = ()
+
+    #: Penalty objective reported by the default failure outcome.
+    failure_objective: float = 1e3
 
     def __init__(
         self,
@@ -182,7 +293,10 @@ class Problem:
             raise ValueError(f"expected {self.dim} variables, got {x.size}")
         if not np.all(np.isfinite(x)):
             raise ValueError("design point must be finite")
-        objective, constraints, metrics = self._evaluate(x, fidelity)
+        try:
+            objective, constraints, metrics = self._evaluate(x, fidelity)
+        except self.failure_exceptions as exc:
+            return self.failure_evaluation(fidelity, x=x, error=exc)
         constraints = np.asarray(constraints, dtype=float).ravel()
         if constraints.size != self.n_constraints:
             raise RuntimeError(
@@ -203,6 +317,67 @@ class Problem:
         """Evaluate a unit-cube point (the optimizer-facing entry point)."""
         u = np.asarray(u, dtype=float).ravel()
         return self.evaluate(self.space.from_unit(np.clip(u, 0.0, 1.0)), fidelity)
+
+    # ------------------------------------------------------------------
+    # failure path
+    # ------------------------------------------------------------------
+    def failure_evaluation(
+        self,
+        fidelity: str | None = None,
+        *,
+        x: np.ndarray | None = None,
+        error: BaseException | str = "",
+        error_type: str | None = None,
+        attempts: int = 1,
+        wall_time_s: float = 0.0,
+        metrics: dict | None = None,
+    ) -> FailedEvaluation:
+        """Build the :class:`FailedEvaluation` for one failed attempt.
+
+        The penalty outcome comes from the :meth:`_failure_outcome`
+        hook, charged at the fidelity's normal cost so failures consume
+        budget exactly like successes (no double-spending, no free
+        retries). ``x`` is the physical-unit design point when known —
+        some hooks use it (e.g. an area objective computable without
+        simulation). Callers beyond :meth:`evaluate` itself: the async
+        evaluator farm (timeouts, dead workers, exhausted retries) and
+        ``Strategy.observe`` (non-finite results).
+        """
+        fidelity = fidelity if fidelity is not None else self.highest_fidelity
+        self._check_fidelity(fidelity)
+        if isinstance(error, BaseException):
+            if error_type is None:
+                error_type = type(error).__name__
+            error = str(error)
+        objective, constraints, hook_metrics = self._failure_outcome(x, fidelity)
+        return FailedEvaluation(
+            objective=float(objective),
+            constraints=np.asarray(constraints, dtype=float).ravel(),
+            fidelity=fidelity,
+            cost=self.costs[fidelity],
+            metrics=dict(hook_metrics) if metrics is None else dict(metrics),
+            error_type=error_type if error_type is not None else "Exception",
+            error=str(error),
+            attempts=int(attempts),
+            wall_time_s=float(wall_time_s),
+        )
+
+    def _failure_outcome(
+        self, x: np.ndarray | None, fidelity: str
+    ) -> tuple[float, np.ndarray, dict]:
+        """Penalty ``(objective, constraints, metrics)`` for a failure.
+
+        The default is a large objective with every constraint violated
+        by 1. Testbenches override this to keep their historical penalty
+        values (e.g. the op-amp's ``FAILED_METRICS``) so trajectories
+        with convergence failures are unchanged by the failure-path
+        refactor.
+        """
+        return (
+            self.failure_objective,
+            np.full(self.n_constraints, 1.0),
+            {},
+        )
 
     # ------------------------------------------------------------------
     def _evaluate(

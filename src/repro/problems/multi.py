@@ -36,12 +36,14 @@ from .base import (
     FIDELITY_HIGH,
     FIDELITY_LOW,
     Evaluation,
+    FailedEvaluation,
     Problem,
     _plain,
 )
 
 __all__ = [
     "MultiObjectiveEvaluation",
+    "FailedMultiObjectiveEvaluation",
     "MultiObjectiveProblem",
     "ZDT1Problem",
 ]
@@ -71,16 +73,22 @@ class MultiObjectiveEvaluation(Evaluation):
         return payload
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "MultiObjectiveEvaluation":
-        """Rebuild an evaluation from :meth:`to_dict` output."""
-        return cls(
-            objective=float(payload["objective"]),
-            constraints=np.asarray(payload["constraints"], dtype=float),
-            fidelity=str(payload["fidelity"]),
-            cost=float(payload["cost"]),
-            metrics=dict(payload.get("metrics", {})),
-            objectives=np.asarray(payload["objectives"], dtype=float),
-        )
+    def _kwargs_from(cls, payload: dict) -> dict:
+        kwargs = super()._kwargs_from(payload)
+        kwargs["objectives"] = np.asarray(payload["objectives"], dtype=float)
+        return kwargs
+
+
+@dataclass(frozen=True)
+class FailedMultiObjectiveEvaluation(FailedEvaluation, MultiObjectiveEvaluation):
+    """A failed evaluation of a :class:`MultiObjectiveProblem`.
+
+    Combines the failure metadata of
+    :class:`repro.problems.FailedEvaluation` with the ``objectives``
+    vector of :class:`MultiObjectiveEvaluation` (filled with finite
+    penalty values) — both serialization layers compose through the
+    cooperative ``to_dict``/``_kwargs_from`` chains.
+    """
 
 
 class MultiObjectiveProblem(Problem):
@@ -137,7 +145,10 @@ class MultiObjectiveProblem(Problem):
             raise ValueError(f"expected {self.dim} variables, got {x.size}")
         if not np.all(np.isfinite(x)):
             raise ValueError("design point must be finite")
-        objectives, constraints, metrics = self._evaluate_multi(x, fidelity)
+        try:
+            objectives, constraints, metrics = self._evaluate_multi(x, fidelity)
+        except self.failure_exceptions as exc:
+            return self.failure_evaluation(fidelity, x=x, error=exc)
         objectives = np.asarray(objectives, dtype=float).ravel()
         constraints = np.asarray(constraints, dtype=float).ravel()
         if objectives.size != self.n_objectives:
@@ -157,6 +168,59 @@ class MultiObjectiveProblem(Problem):
             cost=self.costs[fidelity],
             metrics={key: _plain(value) for key, value in metrics.items()},
             objectives=objectives,
+        )
+
+    # ------------------------------------------------------------------
+    # failure path
+    # ------------------------------------------------------------------
+    def failure_evaluation(
+        self,
+        fidelity: str | None = None,
+        *,
+        x: np.ndarray | None = None,
+        error: BaseException | str = "",
+        error_type: str | None = None,
+        attempts: int = 1,
+        wall_time_s: float = 0.0,
+        metrics: dict | None = None,
+    ) -> FailedMultiObjectiveEvaluation:
+        """Multi-objective variant of :meth:`Problem.failure_evaluation`."""
+        fidelity = fidelity if fidelity is not None else self.highest_fidelity
+        self._check_fidelity(fidelity)
+        if isinstance(error, BaseException):
+            if error_type is None:
+                error_type = type(error).__name__
+            error = str(error)
+        objectives, constraints, hook_metrics = self._failure_outcome_multi(
+            x, fidelity
+        )
+        objectives = np.asarray(objectives, dtype=float).ravel()
+        return FailedMultiObjectiveEvaluation(
+            objective=float(objectives[0]),
+            constraints=np.asarray(constraints, dtype=float).ravel(),
+            fidelity=fidelity,
+            cost=self.costs[fidelity],
+            metrics=dict(hook_metrics) if metrics is None else dict(metrics),
+            objectives=objectives,
+            error_type=error_type if error_type is not None else "Exception",
+            error=str(error),
+            attempts=int(attempts),
+            wall_time_s=float(wall_time_s),
+        )
+
+    def _failure_outcome_multi(
+        self, x: np.ndarray | None, fidelity: str
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Penalty ``(objectives, constraints, metrics)`` for a failure.
+
+        The default fills every objective with the scalar penalty and
+        violates every constraint by 1; testbenches override it to keep
+        their historical penalty values.
+        """
+        return (
+            np.full(self.n_objectives, self.failure_objective),
+            np.full(self.n_constraints, 1.0),
+            {},
         )
 
     # ------------------------------------------------------------------

@@ -14,12 +14,15 @@ the paper's NARGP fusion targets.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..design.space import DesignSpace, Variable
 from .base import FIDELITY_HIGH, FIDELITY_LOW, Problem
 
 __all__ = [
+    "LatencyProblem",
     "pedagogical_low",
     "pedagogical_high",
     "forrester_high",
@@ -265,3 +268,33 @@ class Hartmann3Problem(_SyntheticMF):
             [Variable(f"x{i + 1}", 0.0, 1.0) for i in range(3)]
         )
         super().__init__(hartmann3_low, hartmann3_high, space, cost_ratio)
+
+
+class LatencyProblem(Problem):
+    """Forrester objective with heterogeneous, deterministic latency.
+
+    Models the wall-clock profile of a real simulation farm: most
+    evaluations are fast, a deterministic subset (``x < slow_below``)
+    takes ``slow_s`` — the straggler pattern that makes barrier-style
+    batch evaluation waste worker time. Used by the farm throughput
+    benchmark and chaos tests; the sleep is keyed on the design point
+    itself, so any scheduling of the same suggestions sleeps the same
+    total time.
+    """
+
+    name = "latency"
+
+    def __init__(self, fast_s: float = 0.01, slow_s: float = 0.5,
+                 slow_below: float = 0.1):
+        space = DesignSpace([Variable("x", 0.0, 1.0)])
+        super().__init__(space=space, n_constraints=0)
+        self.fast_s = float(fast_s)
+        self.slow_s = float(slow_s)
+        self.slow_below = float(slow_below)
+
+    def _evaluate(self, x, fidelity):
+        t = float(x[0])
+        slow = t < self.slow_below
+        time.sleep(self.slow_s if slow else self.fast_s)
+        value = float(forrester_high(x.reshape(1, -1))[0])
+        return value, np.empty(0), {"slow": float(slow)}

@@ -9,11 +9,28 @@ simulate-in-the-loop control flow:
   injectable :class:`Evaluator`, with JSON checkpoint/resume.
 * :class:`SerialEvaluator` / :class:`ProcessPoolEvaluator` — evaluation
   backends (in-process, or parallel across worker processes).
+* :class:`AsyncEvaluator` — the fault-tolerant farm: out-of-order
+  completion, per-evaluation timeouts, retry with backoff, worker-death
+  recovery (see :mod:`repro.session.farm`).
+* :class:`FaultInjectingEvaluator` / :class:`FaultSpec` — deterministic
+  seeded fault injection for chaos testing.
 """
 
 from .evaluators import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from .farm import (
+    AsyncEvaluator,
+    EvalResult,
+    FaultInjectingEvaluator,
+    FaultSpec,
+    SimulatedCrashError,
+)
 from .protocol import Strategy, Suggestion
-from .session import OptimizationSession, load_checkpoint, register_strategy
+from .session import (
+    CheckpointError,
+    OptimizationSession,
+    load_checkpoint,
+    register_strategy,
+)
 
 __all__ = [
     "OptimizationSession",
@@ -22,6 +39,12 @@ __all__ = [
     "Evaluator",
     "SerialEvaluator",
     "ProcessPoolEvaluator",
+    "AsyncEvaluator",
+    "EvalResult",
+    "FaultInjectingEvaluator",
+    "FaultSpec",
+    "SimulatedCrashError",
+    "CheckpointError",
     "load_checkpoint",
     "register_strategy",
 ]

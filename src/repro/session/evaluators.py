@@ -11,6 +11,11 @@ ship with the library:
   :class:`concurrent.futures.ProcessPoolExecutor`, for simulation-bound
   problems whose evaluations dominate the iteration cost. Results come
   back in suggestion order, so batched runs stay reproducible.
+
+Both are *barrier* evaluators: ``evaluate`` returns only when the whole
+batch is done. :class:`repro.session.farm.AsyncEvaluator` adds the
+streaming, fault-tolerant alternative (out-of-order completion,
+timeouts, retries, worker-death recovery).
 """
 
 from __future__ import annotations

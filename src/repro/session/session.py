@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import importlib
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
@@ -44,7 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.result import BOResult
     from ..problems.base import Evaluation, Problem
 
-__all__ = ["OptimizationSession", "load_checkpoint"]
+__all__ = ["CheckpointError", "OptimizationSession", "load_checkpoint"]
 
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
 CHECKPOINT_VERSION = 1
@@ -82,15 +83,37 @@ def _resolve_strategy(strategy_id: str):
     return getattr(importlib.import_module(module_name), class_name)
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt, truncated or not a checkpoint."""
+
+
 def load_checkpoint(path: str | Path) -> dict:
-    """Read and validate a checkpoint file, returning its payload."""
-    payload = json.loads(Path(path).read_text())
+    """Read and validate a checkpoint file, returning its payload.
+
+    Raises :class:`CheckpointError` naming the offending path when the
+    file is not valid JSON (e.g. a partial write after a crash) or is
+    not a supported checkpoint; the message points at the ``.bak``
+    sibling :meth:`OptimizationSession.save` keeps, when one exists.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        backup = path.with_suffix(path.suffix + ".bak")
+        hint = (
+            f"; previous checkpoint preserved at {backup}"
+            if backup.exists()
+            else ""
+        )
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: {exc}{hint}"
+        ) from exc
     if payload.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} file")
+        raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} file")
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
-        raise ValueError(
-            f"checkpoint version {version} not supported "
+        raise CheckpointError(
+            f"checkpoint version {version} in {path} not supported "
             f"(expected {CHECKPOINT_VERSION})"
         )
     return payload
@@ -112,6 +135,12 @@ class OptimizationSession:
         With ``checkpoint_path`` set, :meth:`run` saves a checkpoint
         there on completion; with ``checkpoint_every`` additionally set,
         :meth:`step` also auto-saves every ``checkpoint_every`` steps.
+    own_evaluator:
+        Whether :meth:`close` (and the ``with`` statement) shuts the
+        evaluator down. Defaults to ``True`` exactly when the session
+        created the evaluator itself — pass an evaluator you intend to
+        reuse across sessions and it stays open; pass
+        ``own_evaluator=True`` to hand its lifetime to the session.
     """
 
     def __init__(
@@ -120,16 +149,34 @@ class OptimizationSession:
         evaluator: Evaluator | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int | None = None,
+        own_evaluator: bool | None = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.strategy = strategy
+        self.own_evaluator = (
+            bool(own_evaluator) if own_evaluator is not None else evaluator is None
+        )
         self.evaluator = evaluator if evaluator is not None else SerialEvaluator()
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self.checkpoint_every = checkpoint_every
         self.n_steps = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the evaluator if this session owns it; idempotent."""
+        if self.own_evaluator:
+            self.evaluator.close()
+
+    def __enter__(self) -> "OptimizationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # pass-throughs
@@ -205,6 +252,69 @@ class OptimizationSession:
             self.save(self.checkpoint_path)
         return self.result()
 
+    def run_async(
+        self,
+        batch_size: int = 1,
+        over_suggest: int = 0,
+        max_results: int | None = None,
+    ) -> "BOResult":
+        """Drive a streaming evaluator, observing results out of order.
+
+        Requires an evaluator with the :class:`repro.session.farm`
+        streaming API (``submit`` / ``next_result`` / ``pending``), e.g.
+        :class:`repro.session.AsyncEvaluator`. The loop keeps
+        ``batch_size + over_suggest`` evaluations in flight — the
+        ``over_suggest`` extras are speculative work that hides stragglers
+        — and tells the strategy about each result the moment it lands,
+        whatever its dispatch order. In-flight suggestions are part of the
+        strategy's checkpoint state, so a session killed mid-flight
+        resumes by re-suggesting exactly the pending points: no budget is
+        lost or double-spent.
+
+        ``max_results`` bounds how many evaluations are observed before
+        returning (mainly for tests that interrupt a session mid-run).
+        """
+        evaluator = self.evaluator
+        if not hasattr(evaluator, "submit"):
+            raise TypeError(
+                "run_async needs a streaming evaluator with "
+                "submit/next_result/pending (e.g. AsyncEvaluator); "
+                f"got {type(evaluator).__name__}"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if over_suggest < 0:
+            raise ValueError("over_suggest must be >= 0")
+        target = batch_size + over_suggest
+        n_results = 0
+        while True:
+            if not self.strategy.is_done:
+                want = target - evaluator.pending
+                if want > 0:
+                    for suggestion in self.strategy.suggest(want):
+                        evaluator.submit(self.problem, suggestion)
+            if evaluator.pending == 0:
+                break
+            result = evaluator.next_result()
+            self.strategy.observe(
+                result.suggestion.x_unit,
+                result.suggestion.fidelity,
+                result.evaluation,
+            )
+            self.n_steps += 1
+            n_results += 1
+            if (
+                self.checkpoint_path is not None
+                and self.checkpoint_every is not None
+                and self.n_steps % self.checkpoint_every == 0
+            ):
+                self.save(self.checkpoint_path)
+            if max_results is not None and n_results >= max_results:
+                break
+        if self.checkpoint_path is not None:
+            self.save(self.checkpoint_path)
+        return self.result()
+
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
@@ -222,6 +332,11 @@ class OptimizationSession:
         }
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload))
+        if path.exists():
+            # Keep the previous good checkpoint: if this process dies
+            # between here and the replace (or the new file is later
+            # found corrupt), load_checkpoint points the user at it.
+            os.replace(path, path.with_suffix(path.suffix + ".bak"))
         tmp.replace(path)
         return path
 
@@ -235,6 +350,7 @@ class OptimizationSession:
         rng: np.random.Generator | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int | None = None,
+        own_evaluator: bool | None = None,
     ) -> "OptimizationSession":
         """Reconstruct a session from a checkpoint file.
 
@@ -265,6 +381,7 @@ class OptimizationSession:
             evaluator=evaluator,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            own_evaluator=own_evaluator,
         )
         session.n_steps = int(payload.get("n_steps", 0))
         return session

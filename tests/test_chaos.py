@@ -1,0 +1,199 @@
+"""Chaos suite: optimization sessions under injected infrastructure faults.
+
+These tests SIGKILL live worker processes, hang evaluations against the
+farm's wall-clock timeout and run whole optimization sessions with a 25%
+deterministic fault rate — asserting that the session *always* runs to
+budget exhaustion with every casualty folded into the history as a
+finite, infeasible ``FailedEvaluation``, and that a session killed
+mid-fault-storm resumes from its checkpoint onto the same trajectory.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro import (
+    AsyncEvaluator,
+    FailedEvaluation,
+    FaultInjectingEvaluator,
+    FaultSpec,
+    MFBOptimizer,
+    OptimizationSession,
+    RandomSearchOptimizer,
+)
+from repro.circuits.power_amplifier import PowerAmplifierProblem
+from repro.problems import LatencyProblem
+from repro.session import Suggestion
+
+FAST = dict(msp_starts=20, msp_polish=1, n_restarts=1, n_mc_samples=6,
+            gp_max_opt_iter=25)
+
+
+def _s(x, fidelity="high"):
+    return Suggestion(np.atleast_1d(np.asarray(x, dtype=float)), fidelity)
+
+
+def _strip(record):
+    """Trajectory fingerprint without timing noise (wall_time_s)."""
+    ev = record.evaluation
+    return (
+        tuple(float(v) for v in record.x_unit),
+        ev.fidelity,
+        float(ev.objective),
+        ev.failed,
+        getattr(ev, "error_type", None),
+        getattr(ev, "attempts", None),
+    )
+
+
+class TestWorkerDeath:
+    def test_sigkill_live_worker_mid_batch(self):
+        """Killing a busy worker loses no evaluations."""
+        problem = LatencyProblem(fast_s=0.3, slow_s=0.3)
+        with AsyncEvaluator(max_workers=2, max_attempts=3,
+                            retry_backoff_s=0.01) as farm:
+            tickets = {
+                farm.submit(problem, _s(x))
+                for x in (0.2, 0.3, 0.5, 0.7, 0.8, 0.9)
+            }
+            deadline = time.monotonic() + 5.0
+            while not farm.worker_pids() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            pids = farm.worker_pids()
+            assert pids, "no live workers to kill"
+            os.kill(pids[0], signal.SIGKILL)
+            results = [farm.next_result(timeout=60) for _ in tickets]
+        assert {r.ticket for r in results} == tickets
+        # Nothing in the problem itself fails, so after the respawn and
+        # retries every evaluation must have succeeded.
+        assert all(not r.evaluation.failed for r in results)
+
+    def test_hang_trips_timeout_and_farm_recovers(self):
+        """A hung evaluation fails by timeout; later work still runs."""
+        problem = LatencyProblem(fast_s=0.01, slow_s=0.01)
+        hang = FaultSpec(seed=0, rate=1.0, weights=(0, 1, 0, 0),
+                         hang_s=60.0)
+        farm = AsyncEvaluator(max_workers=2, timeout_s=0.5, max_attempts=2,
+                              retry_backoff_s=0.01)
+        with farm:
+            chaos = FaultInjectingEvaluator(farm, spec=hang)
+            chaos.submit(problem, _s(0.6))
+            result = chaos.next_result(timeout=60)
+            assert isinstance(result.evaluation, FailedEvaluation)
+            assert result.evaluation.error_type == "EvaluationTimeout"
+            assert result.evaluation.attempts == 2
+            # the pool was torn down and respawned: clean work still runs
+            clean = farm.evaluate(problem, [_s(0.8)])
+            assert not clean[0].failed
+
+
+class TestFaultStorm:
+    def _run(self, rate, seed=7):
+        strategy = RandomSearchOptimizer(
+            LatencyProblem(fast_s=0.005, slow_s=0.05), budget=12, n_init=4,
+            seed=3,
+        )
+        farm = FaultInjectingEvaluator(
+            AsyncEvaluator(max_workers=2, timeout_s=2.0, max_attempts=2,
+                           retry_backoff_s=0.01),
+            rate=rate, hang_s=30.0, slow_s=0.05, seed=seed,
+        )
+        with OptimizationSession(strategy, evaluator=farm,
+                                 own_evaluator=True) as session:
+            session.run_async(batch_size=2, over_suggest=1)
+        return strategy.history
+
+    def test_faulty_run_matches_clean_run_length(self):
+        """A 25%-fault session consumes exactly the clean session's budget.
+
+        Every fault must resolve to a FailedEvaluation carrying the same
+        cost a successful evaluation would have, so the fault storm
+        changes *which* records are failures but not how many records
+        the budget buys.
+        """
+        clean = self._run(rate=0.0)
+        faulty = self._run(rate=0.25)
+        assert len(faulty) == len(clean)
+        assert not any(r.evaluation.failed for r in clean.records)
+        casualties = [r for r in faulty.records if r.evaluation.failed]
+        assert casualties, "25% fault rate never fired"
+        for record in casualties:
+            assert isinstance(record.evaluation, FailedEvaluation)
+            assert np.isfinite(record.evaluation.objective)
+            assert not record.evaluation.feasible
+
+    def test_tab1_session_survives_fault_storm(self):
+        """A small Table-1 (power amplifier) MFBO session at 25% faults
+        runs to budget exhaustion with no unhandled exception."""
+        strategy = MFBOptimizer(
+            PowerAmplifierProblem(), budget=2.5, n_init_low=4, n_init_high=2,
+            seed=0, **FAST,
+        )
+        farm = FaultInjectingEvaluator(
+            AsyncEvaluator(max_workers=2, timeout_s=10.0, max_attempts=2,
+                           retry_backoff_s=0.01),
+            rate=0.25, hang_s=60.0, slow_s=0.05, seed=11,
+        )
+        with OptimizationSession(strategy, evaluator=farm,
+                                 own_evaluator=True) as session:
+            result = session.run_async(batch_size=2)
+        history = strategy.history
+        assert history.total_cost >= 2.5 - 1.0  # budget exhausted
+        assert np.isfinite(result.best_objective)
+        for record in history.records:
+            if record.evaluation.failed:
+                assert isinstance(record.evaluation, FailedEvaluation)
+            assert np.isfinite(record.evaluation.objective)
+
+
+class TestResumeMidFaultStorm:
+    def _make(self, tmp_path=None, **session_kwargs):
+        strategy = RandomSearchOptimizer(
+            LatencyProblem(fast_s=0.005, slow_s=0.02), budget=10, n_init=3,
+            seed=9,
+        )
+        # max_workers=1 and zero backoff make completion order (and so
+        # the trajectory) deterministic even through crash/retry cycles.
+        farm = FaultInjectingEvaluator(
+            AsyncEvaluator(max_workers=1, timeout_s=5.0, max_attempts=2,
+                           retry_backoff_s=0.0, retry_jitter=0.0),
+            spec=FaultSpec(seed=5, rate=0.3, weights=(1.0, 0.0, 1.0, 1.0),
+                           slow_s=0.02),
+        )
+        return OptimizationSession(strategy, evaluator=farm,
+                                   own_evaluator=True, **session_kwargs)
+
+    def test_resume_reproduces_surviving_trajectory(self, tmp_path):
+        path = tmp_path / "storm.json"
+
+        with self._make() as uninterrupted:
+            uninterrupted.run_async(batch_size=1, over_suggest=1)
+        reference = uninterrupted.history.records
+
+        with self._make(checkpoint_path=path, checkpoint_every=1) as first:
+            first.run_async(batch_size=1, over_suggest=1, max_results=4)
+        assert len(first.history) == 4
+        survivors = [_strip(r) for r in first.history.records]
+
+        problem = LatencyProblem(fast_s=0.005, slow_s=0.02)
+        farm = FaultInjectingEvaluator(
+            AsyncEvaluator(max_workers=1, timeout_s=5.0, max_attempts=2,
+                           retry_backoff_s=0.0, retry_jitter=0.0),
+            spec=FaultSpec(seed=5, rate=0.3, weights=(1.0, 0.0, 1.0, 1.0),
+                           slow_s=0.02),
+        )
+        with OptimizationSession.resume(
+            path, problem, evaluator=farm, own_evaluator=True
+        ) as resumed:
+            # the killed session's 4 observations are restored...
+            assert [_strip(r) for r in resumed.history.records] == survivors
+            resumed.run_async(batch_size=1, over_suggest=1)
+
+        # ...and the completed trajectory matches point-for-point, in-
+        # flight suggestions at kill time included (re-dispatched, not
+        # lost or double-spent).
+        assert len(resumed.history) == len(reference)
+        for a, b in zip(resumed.history.records, reference):
+            assert _strip(a) == _strip(b)
