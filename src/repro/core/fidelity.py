@@ -33,7 +33,7 @@ class FidelitySelector:
         Low-fidelity variance threshold; the paper sets 0.01 empirically.
     """
 
-    def __init__(self, gamma: float = 0.01):
+    def __init__(self, gamma: float = 0.01) -> None:
         if gamma <= 0:
             raise ValueError("gamma must be positive")
         self.gamma = float(gamma)

@@ -57,7 +57,7 @@ class Record:
 class History:
     """Ordered log of all evaluations of one optimization run."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.records: list[Record] = []
         self._x_stack: np.ndarray | None = None
 
@@ -108,6 +108,7 @@ class History:
         """
         if not self.records:
             raise ValueError("history is empty")
+        assert self._x_stack is not None  # maintained by add()
         view = self._x_stack[: len(self.records)]
         view.flags.writeable = False
         return view

@@ -158,7 +158,7 @@ class MFBOptimizer(StrategyBase):
         seed: int | None = None,
         rng: np.random.Generator | None = None,
         callback: Callable[[int, History], None] | None = None,
-    ):
+    ) -> None:
         if len(problem.fidelities) != 2:
             raise ValueError(
                 "MFBOptimizer needs a two-fidelity problem; got "
@@ -329,10 +329,14 @@ class MFBOptimizer(StrategyBase):
     # acquisition assembly
     # ------------------------------------------------------------------
     @staticmethod
-    def _gp_predictor(model: GPR):
+    def _gp_predictor(
+        model: GPR,
+    ) -> Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]:
         return lambda x: model.predict(x)
 
-    def _fused_predictor(self, model, z: np.ndarray):
+    def _fused_predictor(
+        self, model: NARGP | AR1, z: np.ndarray
+    ) -> Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]:
         if self.fused_prediction == "mean_path":
             return lambda x: model.predict_mean_path(x)
         return lambda x: model.predict(x, z=z)
@@ -342,7 +346,7 @@ class MFBOptimizer(StrategyBase):
         predictors: Sequence,
         tau: float | None,
         any_feasible: bool,
-    ):
+    ) -> WeightedEI | ViolationAcquisition:
         """wEI when a feasible incumbent exists, else eq. 13 / pure PF."""
         objective_predictor = predictors[0]
         constraint_predictors = list(predictors[1:])

@@ -130,7 +130,7 @@ class BOResult:
             metrics=dict(payload.get("metrics", {})),
         )
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         """Field-wise equality with array-aware comparison.
 
         Defined explicitly because the dataclass-generated ``__eq__``

@@ -24,6 +24,8 @@ need:
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..problems.base import Evaluation, Problem
@@ -107,7 +109,7 @@ class StrategyBase:
         problem: Problem,
         seed: int | None,
         rng: np.random.Generator | None,
-        callback=None,
+        callback: Callable[[int, History], None] | None = None,
     ) -> None:
         self.problem = problem
         self.callback = callback
@@ -295,6 +297,10 @@ class StrategyBase:
         return {
             "strategy": self.strategy_id,
             "state_version": int(self.state_version),
+            # OptimizationSession.resume rebuilds the strategy from
+            # "config" before load_state_dict ever runs, so the loader
+            # deliberately never reads it back.
+            # reprolint: allow[REPRO-SER002] consumed by session resume
             "config": self.config_dict(),
             "iteration": int(self._iteration),
             "init_drawn": bool(self._init_drawn),

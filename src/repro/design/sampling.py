@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import ensure_rng
+
 __all__ = [
     "uniform",
     "latin_hypercube",
@@ -18,7 +20,7 @@ __all__ = [
 
 
 def _require_rng(rng: np.random.Generator | None) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng()
+    return ensure_rng(rng)
 
 
 def uniform(

@@ -1,0 +1,117 @@
+"""Executor-hygiene rules (REPRO-CONC001..003).
+
+The async evaluator farm (``repro.session.farm``) keeps worker
+processes, in-flight futures and retry state consistent across worker
+death and timeouts; the failure modes these rules target are exactly
+the ones that made PR 6 hard to get right:
+
+* CONC001 — a blocking ``.result()`` with no timeout on a future: if
+  the worker died before posting a result, the caller hangs forever.
+  Receivers are matched by name (``future``/``fut``) or by a chained
+  ``.submit(...).result()``, so ordinary ``result()`` accessors on
+  strategies and sessions are out of scope.
+* CONC002 — ``except Exception: pass`` (or a bare except) whose body
+  only passes: the dispatch loop swallowing an unexpected error leaves
+  tickets permanently pending. Narrow the type or log the exception.
+* CONC003 — a discarded ``pool.submit(...)``/``executor.submit(...)``
+  expression statement: the returned future is the only handle to the
+  task's outcome; dropping it means nobody can observe the failure.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Finding, ModuleSource, ProjectIndex
+
+__all__ = ["RULES", "check"]
+
+RULES = {
+    "REPRO-CONC001": "blocking future.result() without a timeout",
+    "REPRO-CONC002": "broad except clause whose body only passes",
+    "REPRO-CONC003": "future returned by submit() is discarded",
+}
+
+_FUTURE_HINTS = ("future", "fut")
+_POOL_HINTS = ("pool", "executor")
+
+
+def _receiver_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node).lower()
+    except Exception:  # pragma: no cover - unparse is total on ast nodes
+        return ""
+
+
+def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    path = module.display_path
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "result"
+                and not node.args
+                and not node.keywords
+            ):
+                receiver = func.value
+                chained_submit = (
+                    isinstance(receiver, ast.Call)
+                    and isinstance(receiver.func, ast.Attribute)
+                    and receiver.func.attr == "submit"
+                )
+                named_future = any(
+                    hint in _receiver_text(receiver) for hint in _FUTURE_HINTS
+                )
+                if chained_submit or named_future:
+                    findings.append(
+                        Finding(
+                            path,
+                            node.lineno,
+                            "REPRO-CONC001",
+                            "blocking .result() without a timeout can hang "
+                            "forever if the worker died; pass a timeout or "
+                            "wait() first",
+                        )
+                    )
+        elif isinstance(node, ast.ExceptHandler):
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            body_only_passes = all(
+                isinstance(stmt, ast.Pass) for stmt in node.body
+            )
+            if broad and body_only_passes:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "REPRO-CONC002",
+                        "broad except swallows errors silently; narrow the "
+                        "exception type or log it",
+                    )
+                )
+        elif isinstance(node, ast.Expr):
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "submit"
+                and any(
+                    hint in _receiver_text(value.func.value)
+                    for hint in _POOL_HINTS
+                )
+            ):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "REPRO-CONC003",
+                        "future returned by submit() is discarded; keep it to "
+                        "observe the task's outcome",
+                    )
+                )
+    return findings

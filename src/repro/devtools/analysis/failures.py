@@ -1,0 +1,220 @@
+"""Failure-path finiteness rules (REPRO-FAIL001..002).
+
+PR 6 made evaluation failure a first-class, *finite* outcome: a
+``Problem`` declares ``failure_exceptions``, ``evaluate()`` catches
+exactly those and routes them through the failure hooks
+(``failure_evaluation`` / ``_failure_outcome``), which own the only
+sanctioned non-finite sentinels. Two leak paths survive review easily
+and corrupt optimizer state when they do:
+
+* FAIL001 — a ``_evaluate``/``_evaluate_multi`` body raising an
+  exception type the class never listed in ``failure_exceptions``: the
+  raise escapes ``evaluate()`` and kills the run instead of producing a
+  failure evaluation. ``NotImplementedError`` and ``TypeError`` are
+  exempt (abstract stubs and signature guards are *meant* to escape).
+* FAIL002 — an ``inf``/``nan`` literal inside an ``_evaluate*`` body or
+  flowing into an ``Evaluation`` constructor outside the failure hooks:
+  non-finite objectives poison the GP fit silently.
+
+Both rules are scoped to Problem-like classes (a ``Problem`` base by
+name, or a body defining ``failure_exceptions``), so the MOSFET's
+unrelated ``_evaluate`` device method is out of scope by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Finding, ModuleSource, ProjectIndex, dotted_name
+
+__all__ = ["RULES", "check"]
+
+RULES = {
+    "REPRO-FAIL001": (
+        "_evaluate raises an exception type not listed in failure_exceptions"
+    ),
+    "REPRO-FAIL002": (
+        "non-finite literal flows into an evaluation outside the failure hooks"
+    ),
+}
+
+_EVALUATE_METHODS = {"_evaluate", "_evaluate_multi"}
+_ALWAYS_ALLOWED = {"NotImplementedError", "TypeError"}
+_FAILURE_HOOKS = {
+    "_failure_outcome",
+    "_failure_outcome_multi",
+    "failure_evaluation",
+}
+_NONFINITE_STRINGS = {"inf", "+inf", "-inf", "infinity", "nan"}
+_NONFINITE_ATTRS = {"inf", "Inf", "infty", "Infinity", "nan", "NaN"}
+_NUMERIC_MODULES = {"np", "numpy", "math"}
+
+
+def _is_problem_like(index: ProjectIndex, node: ast.ClassDef) -> bool:
+    if any(name.endswith("Problem") for name in index.mro_names(node.name)):
+        return True
+    return index.resolve_class_attr(node.name, "failure_exceptions") is not None
+
+
+def _failure_exception_names(
+    index: ProjectIndex, class_name: str
+) -> set[str] | None:
+    value = index.resolve_class_attr(class_name, "failure_exceptions")
+    if value is None:
+        return set()
+    if isinstance(value, ast.Tuple):
+        names: set[str] = set()
+        for elt in value.elts:
+            name = dotted_name(elt)
+            if name is None:
+                return None  # dynamically built: cannot check membership
+            names.add(name.rsplit(".", 1)[-1])
+        return names
+    return None
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if exc is None:
+        return None  # bare re-raise inside a handler
+    name = dotted_name(exc)
+    return None if name is None else name.rsplit(".", 1)[-1]
+
+
+def _is_nonfinite_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "float"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.lower() in _NONFINITE_STRINGS
+        ):
+            return True
+    if isinstance(node, ast.Attribute) and node.attr in _NONFINITE_ATTRS:
+        if isinstance(node.value, ast.Name) and node.value.id in _NUMERIC_MODULES:
+            return True
+    return False
+
+
+def _nonfinite_literals(root: ast.AST) -> list[ast.expr]:
+    return [
+        node
+        for node in ast.walk(root)
+        if isinstance(node, (ast.Call, ast.Attribute)) and _is_nonfinite_literal(node)
+    ]
+
+
+def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    path = module.display_path
+
+    problem_classes: list[ast.ClassDef] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and _is_problem_like(index, node):
+            problem_classes.append(node)
+
+    for class_node in problem_classes:
+        allowed = _failure_exception_names(index, class_node.name)
+        for stmt in class_node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name not in _EVALUATE_METHODS:
+                continue
+            if allowed is not None:
+                for raise_node in (
+                    n for n in ast.walk(stmt) if isinstance(n, ast.Raise)
+                ):
+                    name = _raised_name(raise_node)
+                    if name is None or name in allowed or name in _ALWAYS_ALLOWED:
+                        continue
+                    findings.append(
+                        Finding(
+                            path,
+                            raise_node.lineno,
+                            "REPRO-FAIL001",
+                            f"{class_node.name}.{stmt.name}() raises {name}, "
+                            "which is not in failure_exceptions — it will "
+                            "escape evaluate() instead of becoming a failure "
+                            "evaluation",
+                        )
+                    )
+            for literal in _nonfinite_literals(stmt):
+                findings.append(
+                    Finding(
+                        path,
+                        literal.lineno,
+                        "REPRO-FAIL002",
+                        f"non-finite literal in {class_node.name}.{stmt.name}(); "
+                        "raise a failure_exceptions member instead",
+                    )
+                )
+
+    # Module-wide: inf/nan arguments to Evaluation-family constructors,
+    # outside the failure hooks and Failed* evaluation classes.
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None:
+            continue
+        short = callee.rsplit(".", 1)[-1]
+        if "Evaluation" not in short or short.startswith("Failed"):
+            continue
+        literals = [
+            literal
+            for arg in list(node.args) + [kw.value for kw in node.keywords]
+            for literal in _nonfinite_literals(arg)
+        ]
+        if not literals:
+            continue
+        if _inside_failure_context(module.tree, node):
+            continue
+        for literal in literals:
+            findings.append(
+                Finding(
+                    path,
+                    literal.lineno,
+                    "REPRO-FAIL002",
+                    f"non-finite literal passed to {short}() outside the "
+                    "failure hooks",
+                )
+            )
+    return findings
+
+
+def _inside_failure_context(tree: ast.Module, target: ast.Call) -> bool:
+    """True if ``target`` sits inside a failure hook or a Failed* class."""
+    path = _enclosing_path(tree, target)
+    for node in path:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in _FAILURE_HOOKS:
+                return True
+        elif isinstance(node, ast.ClassDef) and node.name.startswith("Failed"):
+            return True
+    return False
+
+
+def _enclosing_path(tree: ast.Module, target: ast.AST) -> list[ast.AST]:
+    """Definition nodes enclosing ``target``, outermost first."""
+    path: list[ast.AST] = []
+
+    def descend(node: ast.AST) -> bool:
+        if node is target:
+            return True
+        for child in ast.iter_child_nodes(node):
+            if descend(child):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    path.append(node)
+                return True
+        return False
+
+    descend(tree)
+    path.reverse()
+    return path

@@ -1,0 +1,84 @@
+"""RNG-discipline rules (REPRO-RNG001..003).
+
+Reproducibility here is bit-exact by design: every strategy threads
+spawned :class:`numpy.random.Generator` streams whose states round-trip
+through checkpoints (see ``StrategyBase.rng_stream_names``). Any draw
+from numpy's *global* RNG, the stdlib ``random`` module, or an unseeded
+``default_rng()`` silently escapes that discipline — runs stop being
+replayable with no visible failure. The sanctioned escape hatch for
+optional ``rng`` arguments is :func:`repro.rng.ensure_rng`, which
+carries the suite's only inline allowance.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Finding, ModuleSource, ProjectIndex, dotted_name
+
+__all__ = ["RULES", "check"]
+
+RULES = {
+    "REPRO-RNG001": (
+        "call into numpy's global RNG (np.random.<fn>); thread a spawned "
+        "Generator instead"
+    ),
+    "REPRO-RNG002": (
+        "stdlib random module imported; thread a numpy Generator instead"
+    ),
+    "REPRO-RNG003": (
+        "unseeded default_rng(); pass a seed or use repro.rng.ensure_rng"
+    ),
+}
+
+#: ``np.random`` attributes that construct generators rather than draw
+#: from global state. ``default_rng`` is excluded here because RNG003
+#: checks its seeding separately.
+_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    path = module.display_path
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    findings.append(
+                        Finding(
+                            path, node.lineno, "REPRO-RNG002", RULES["REPRO-RNG002"]
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                findings.append(
+                    Finding(path, node.lineno, "REPRO-RNG002", RULES["REPRO-RNG002"])
+                )
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, tail = name.rpartition(".")
+            if head in ("np.random", "numpy.random") and tail not in _CONSTRUCTORS:
+                findings.append(
+                    Finding(path, node.lineno, "REPRO-RNG001", RULES["REPRO-RNG001"])
+                )
+            if tail == "default_rng" or name == "default_rng":
+                if not node.args and not node.keywords:
+                    findings.append(
+                        Finding(
+                            path, node.lineno, "REPRO-RNG003", RULES["REPRO-RNG003"]
+                        )
+                    )
+    return findings

@@ -1,0 +1,280 @@
+"""Serialization round-trip rules (REPRO-SER001..004).
+
+Checkpoint/resume is bit-exact in this library, which makes a field
+that serializes but never deserializes (or vice versa) a *silent* state
+corruption: the resumed run diverges with no error. Three statically
+checkable contracts cover the tree's serializers:
+
+* SER001 — a dataclass field declared in a class body must be mentioned
+  by that class's own ``_kwargs_from``/``from_dict``.
+* SER002 — every key written by ``state_dict``/``_extra_state`` must be
+  read by the matching ``load_state_dict``/``_load_extra_state``.
+* SER003/SER004 — the serialized key layout of each class is recorded
+  in a committed schema manifest; drift without a ``state_version``
+  bump is SER003, a missing/stale manifest entry is SER004 (regenerate
+  with ``python -m repro.devtools.lint --update-schema-manifest``).
+
+Key extraction is deliberately syntactic: string keys of returned dict
+literals plus ``payload["key"] = ...`` subscript writes. Consumption is
+"the key appears as a string literal anywhere in the loader" — generous
+enough to avoid false positives on indirect reads, strict enough that a
+genuinely dropped key is caught.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from .engine import Finding, ModuleSource, ProjectIndex, dotted_name, module_key
+
+__all__ = [
+    "RULES",
+    "check",
+    "MANIFEST_PATH",
+    "extract_schemas",
+    "load_manifest",
+    "build_manifest",
+]
+
+RULES = {
+    "REPRO-SER001": (
+        "dataclass field is never mentioned by this class's deserializer"
+    ),
+    "REPRO-SER002": (
+        "serialized key is never read back by the matching loader"
+    ),
+    "REPRO-SER003": (
+        "serialized layout changed without a state_version bump"
+    ),
+    "REPRO-SER004": (
+        "serialized class missing from (or stale in) the schema manifest; "
+        "run --update-schema-manifest"
+    ),
+}
+
+MANIFEST_PATH = Path(__file__).parent / "schema_manifest.json"
+
+#: (writer, reader) method-name pairs checked by SER002.
+_STATE_PAIRS = (
+    ("state_dict", "load_state_dict"),
+    ("_extra_state", "_load_extra_state"),
+)
+
+#: Methods whose written keys feed the schema manifest.
+_SCHEMA_METHODS = ("to_dict", "state_dict", "_extra_state")
+
+
+def _own_methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None and name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, int]]:
+    """(name, lineno) of fields declared directly in the class body."""
+    fields: list[tuple[str, int]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation or "InitVar" in annotation:
+            continue
+        fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _written_keys(method: ast.FunctionDef) -> list[tuple[str, int]]:
+    """Keys a serializer writes: returned dict-literal keys + subscripts."""
+    keys: list[tuple[str, int]] = []
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.append((key.value, key.lineno))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.append((target.slice.value, target.lineno))
+    seen: set[str] = set()
+    unique: list[tuple[str, int]] = []
+    for key, lineno in keys:
+        if key not in seen:
+            seen.add(key)
+            unique.append((key, lineno))
+    return unique
+
+
+def _mentioned_strings(method: ast.FunctionDef) -> set[str]:
+    mentioned: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mentioned.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            mentioned.add(node.arg)
+        elif isinstance(node, ast.Attribute):
+            mentioned.add(node.attr)
+    return mentioned
+
+
+def _resolved_state_version(index: ProjectIndex, class_name: str) -> int | None:
+    value = index.resolve_class_attr(class_name, "state_version")
+    if isinstance(value, ast.Constant) and isinstance(value.value, int):
+        return value.value
+    return None
+
+
+def extract_schemas(
+    module: ModuleSource, index: ProjectIndex
+) -> dict[str, dict]:
+    """Schema manifest entries contributed by one module."""
+    schemas: dict[str, dict] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _own_methods(node)
+        keys: set[str] = set()
+        for name in _SCHEMA_METHODS:
+            if name in methods:
+                keys.update(key for key, _ in _written_keys(methods[name]))
+        if not keys:
+            continue
+        entry_key = f"{module_key(module.path)}::{node.name}"
+        schemas[entry_key] = {
+            "state_version": _resolved_state_version(index, node.name),
+            "keys": sorted(keys),
+            "line": node.lineno,
+        }
+    return schemas
+
+
+def load_manifest(path: Path = MANIFEST_PATH) -> dict[str, dict]:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def build_manifest(
+    modules: list[ModuleSource], index: ProjectIndex
+) -> dict[str, dict]:
+    manifest: dict[str, dict] = {}
+    for module in modules:
+        for key, entry in extract_schemas(module, index).items():
+            manifest[key] = {
+                "state_version": entry["state_version"],
+                "keys": entry["keys"],
+            }
+    return dict(sorted(manifest.items()))
+
+
+def check(
+    module: ModuleSource,
+    index: ProjectIndex,
+    manifest: dict[str, dict] | None = None,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    path = module.display_path
+    if manifest is None:
+        manifest = load_manifest()
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _own_methods(node)
+
+        # SER001: own dataclass fields must reach the own deserializer.
+        deserializer = methods.get("_kwargs_from") or methods.get("from_dict")
+        if _is_dataclass(node) and deserializer is not None:
+            mentioned = _mentioned_strings(deserializer)
+            for name, lineno in _dataclass_fields(node):
+                if name not in mentioned:
+                    findings.append(
+                        Finding(
+                            path,
+                            lineno,
+                            "REPRO-SER001",
+                            f"field {name!r} of {node.name} is never mentioned "
+                            f"by {deserializer.name}()",
+                        )
+                    )
+
+        # SER002: every written state key must be read by the loader.
+        for writer_name, reader_name in _STATE_PAIRS:
+            writer = methods.get(writer_name)
+            reader = methods.get(reader_name)
+            if writer is None or reader is None:
+                continue
+            mentioned = _mentioned_strings(reader)
+            for key, lineno in _written_keys(writer):
+                if key not in mentioned:
+                    findings.append(
+                        Finding(
+                            path,
+                            lineno,
+                            "REPRO-SER002",
+                            f"key {key!r} written by {node.name}.{writer_name}() "
+                            f"is never read by {reader_name}()",
+                        )
+                    )
+
+    # SER003/SER004: diff this module's serialized layouts vs the manifest.
+    for entry_key, current in extract_schemas(module, index).items():
+        recorded = manifest.get(entry_key)
+        line = current["line"]
+        if recorded is None:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "REPRO-SER004",
+                    f"{entry_key} not in schema manifest; "
+                    "run --update-schema-manifest",
+                )
+            )
+            continue
+        if recorded.get("keys") == current["keys"]:
+            continue
+        added = sorted(set(current["keys"]) - set(recorded.get("keys", [])))
+        removed = sorted(set(recorded.get("keys", [])) - set(current["keys"]))
+        delta = ", ".join(
+            [f"+{key}" for key in added] + [f"-{key}" for key in removed]
+        )
+        if recorded.get("state_version") == current["state_version"]:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "REPRO-SER003",
+                    f"{entry_key} layout changed ({delta}) without a "
+                    "state_version bump",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "REPRO-SER004",
+                    f"{entry_key} manifest entry is stale ({delta}); "
+                    "run --update-schema-manifest",
+                )
+            )
+    return findings

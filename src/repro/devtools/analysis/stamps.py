@@ -1,0 +1,232 @@
+"""MNA stamp-conformance rules (REPRO-STAMP001..002).
+
+The SPICE engine's sparse backend freezes the matrix structure once per
+circuit from :meth:`Element.stamp_pattern` and then assembles numbers
+through :meth:`Element.stamp_values` / :meth:`Element.ac_stamp_values`.
+A values-side ``(row, col)`` coordinate that the pattern never declared
+is a runtime KeyError at best and a silently dropped stamp at worst —
+and it only shows up on the *sparse* backend, so dense-backend tests
+cannot catch it. These rules check the contract statically:
+
+* STAMP001 — an ``Element`` subclass overriding one of
+  ``stamp_pattern``/``stamp_values`` must override both.
+* STAMP002 — every index pair the values methods can touch must be
+  declared by the pattern (``add_pairwise(i, j)`` expands to the full
+  2x2 block).
+
+The index algebra is symbolic: ``i1, i2 = self.node_indices`` binds
+positional node symbols, ``bi = self.branch_index`` binds the branch
+symbol, and conditional re-binding (MOSFET's drain/source swap)
+accumulates the *union* of possible referents, so a values pair is
+checked against every combination it can resolve to. Classes using
+index expressions the resolver does not understand are skipped rather
+than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+
+from .engine import Finding, ModuleSource, ProjectIndex
+
+__all__ = ["RULES", "check"]
+
+RULES = {
+    "REPRO-STAMP001": (
+        "Element subclass overrides only one half of the "
+        "stamp_pattern/stamp_values pair"
+    ),
+    "REPRO-STAMP002": (
+        "values-side stamp coordinate is not declared by stamp_pattern"
+    ),
+}
+
+_BRANCH = "B"
+
+
+def _is_element_subclass(index: ProjectIndex, class_name: str) -> bool:
+    return "Element" in index.mro_names(class_name)[1:]
+
+
+def _own_methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _resolve(env: dict[str, frozenset[str]], node: ast.expr) -> frozenset[str] | None:
+    """Possible symbolic referents of an index expression, or None."""
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return frozenset({f"N{node.value}"})
+    if isinstance(node, ast.Attribute):
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr == "branch_index"
+        ):
+            return frozenset({_BRANCH})
+    return None
+
+
+def _alias_env(method: ast.FunctionDef) -> dict[str, frozenset[str]]:
+    """Flow-insensitive union of every index-alias assignment.
+
+    Iterated to a fixpoint so chained aliases resolve regardless of
+    statement order; conditional re-binding unions both branches.
+    """
+    assigns = [node for node in ast.walk(method) if isinstance(node, ast.Assign)]
+    env: dict[str, frozenset[str]] = {}
+
+    def merge(name: str, symbols: frozenset[str] | None) -> None:
+        if symbols:
+            env[name] = env.get(name, frozenset()) | symbols
+
+    for _ in range(4):
+        before = dict(env)
+        for node in assigns:
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            value = node.value
+            if isinstance(target, ast.Tuple):
+                names = [
+                    elt.id if isinstance(elt, ast.Name) else None
+                    for elt in target.elts
+                ]
+                if (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                    and value.attr == "node_indices"
+                ):
+                    for position, name in enumerate(names):
+                        if name is not None:
+                            merge(name, frozenset({f"N{position}"}))
+                elif isinstance(value, ast.Tuple) and len(value.elts) == len(names):
+                    for name, elt in zip(names, value.elts):
+                        if name is not None:
+                            merge(name, _resolve(env, elt))
+            elif isinstance(target, ast.Name):
+                merge(target.id, _resolve(env, value))
+        if env == before:
+            break
+    return env
+
+
+def _acc_param_names(method: ast.FunctionDef, count: int) -> list[str]:
+    """Names of the first ``count`` parameters after ``self``."""
+    params = [arg.arg for arg in method.args.args[1:]]
+    return params[:count]
+
+
+def _stamp_calls(
+    method: ast.FunctionDef, receivers: set[str]
+) -> list[tuple[str, list[ast.expr], int]]:
+    """(method name, index args, lineno) of add/add_pairwise calls."""
+    calls: list[tuple[str, list[ast.expr], int]] = []
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if not (isinstance(func.value, ast.Name) and func.value.id in receivers):
+            continue
+        if func.attr in ("add", "add_pairwise"):
+            calls.append((func.attr, node.args[:2], node.lineno))
+    return calls
+
+
+def _pairs(
+    env: dict[str, frozenset[str]],
+    calls: list[tuple[str, list[ast.expr], int]],
+) -> tuple[set[tuple[str, str]], list[tuple[tuple[str, str], int]], bool]:
+    """Expand stamp calls to symbolic (row, col) pairs.
+
+    Returns ``(all_pairs, located_pairs, fully_resolved)``; pairwise
+    calls expand to the full 2x2 block and multi-referent aliases to
+    their cartesian product.
+    """
+    pairs: set[tuple[str, str]] = set()
+    located: list[tuple[tuple[str, str], int]] = []
+    resolved = True
+    for attr, args, lineno in calls:
+        if len(args) != 2:
+            resolved = False
+            continue
+        rows = _resolve(env, args[0])
+        cols = _resolve(env, args[1])
+        if rows is None or cols is None:
+            resolved = False
+            continue
+        if attr == "add_pairwise":
+            block = rows | cols
+            rows = cols = block
+        for pair in itertools.product(sorted(rows), sorted(cols)):
+            pairs.add(pair)
+            located.append((pair, lineno))
+    return pairs, located, resolved
+
+
+def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    path = module.display_path
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _is_element_subclass(index, node.name):
+            continue
+        methods = _own_methods(node)
+        has_pattern = "stamp_pattern" in methods
+        has_values = "stamp_values" in methods
+        if has_pattern != has_values:
+            present = "stamp_pattern" if has_pattern else "stamp_values"
+            missing = "stamp_values" if has_pattern else "stamp_pattern"
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "REPRO-STAMP001",
+                    f"{node.name} defines {present}() but not {missing}()",
+                )
+            )
+        if not (has_pattern and has_values):
+            continue
+
+        pattern_method = methods["stamp_pattern"]
+        pattern_receivers = set(_acc_param_names(pattern_method, 1))
+        pattern_env = _alias_env(pattern_method)
+        declared, _, pattern_resolved = _pairs(
+            pattern_env, _stamp_calls(pattern_method, pattern_receivers)
+        )
+        if not pattern_resolved:
+            continue  # cannot trust an incomplete declaration set
+
+        value_methods: list[tuple[ast.FunctionDef, set[str]]] = [
+            (methods["stamp_values"], set(_acc_param_names(methods["stamp_values"], 1)))
+        ]
+        if "ac_stamp_values" in methods:
+            ac = methods["ac_stamp_values"]
+            value_methods.append((ac, set(_acc_param_names(ac, 2))))
+        for method, receivers in value_methods:
+            env = _alias_env(method)
+            _, located, _ = _pairs(env, _stamp_calls(method, receivers))
+            for pair, lineno in located:
+                if pair not in declared:
+                    findings.append(
+                        Finding(
+                            path,
+                            lineno,
+                            "REPRO-STAMP002",
+                            f"{node.name}.{method.name}() stamps "
+                            f"({pair[0]}, {pair[1]}) but stamp_pattern() "
+                            "never declares it",
+                        )
+                    )
+    return findings

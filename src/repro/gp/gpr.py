@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
+from ..rng import ensure_rng
 from .kernels import RBF, Kernel
 from .linalg import (
     CholeskyError,
@@ -260,7 +261,7 @@ class GPR:
     def _optimize_hyperparameters(
         self, n_restarts: int, rng: np.random.Generator | None
     ) -> None:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         bounds = self._full_bounds()
         starts = [self._full_theta()]
         lo = np.array([b[0] for b in bounds])
@@ -533,7 +534,7 @@ class GPR:
         """
         if self._chol is None:
             raise RuntimeError("model has not been fit")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
         k_star = self.kernel(x_star, self._x_train)
         mu = k_star @ self._alpha

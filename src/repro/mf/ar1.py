@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gp.gpr import GPR
+from ..rng import ensure_rng
 
 __all__ = ["AR1"]
 
@@ -59,7 +60,7 @@ class AR1:
             shares it here, as with :class:`repro.mf.NARGP`). When
             omitted a fresh GP is fit on ``(x_low, y_low)``.
         """
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         x_low = np.atleast_2d(np.asarray(x_low, dtype=float))
         x_high = np.atleast_2d(np.asarray(x_high, dtype=float))
         y_high = np.asarray(y_high, dtype=float).ravel()

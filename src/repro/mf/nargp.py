@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gp.gpr import GPR
+from ..rng import ensure_rng
 from ..gp.kernels import RBF, Product, Sum, nargp_kernel
 
 __all__ = ["NARGP"]
@@ -102,7 +103,7 @@ class NARGP:
             low-fidelity acquisition and shares it here). When omitted a
             fresh GP is fit on ``(x_low, y_low)``.
         """
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         x_low = np.atleast_2d(np.asarray(x_low, dtype=float))
         x_high = np.atleast_2d(np.asarray(x_high, dtype=float))
         if x_low.shape[1] != x_high.shape[1]:
@@ -215,7 +216,7 @@ class NARGP:
                 mu_low[None, :] + np.sqrt(var_low)[None, :] * z[:, None]
             )
         else:
-            rng = rng if rng is not None else np.random.default_rng()
+            rng = ensure_rng(rng)
             n_mc = n_mc_samples if n_mc_samples is not None else self.n_mc_samples
             if self.joint_low_samples:
                 low_samples = self.low_model.sample_posterior(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .pareto import non_dominated_mask
 
 __all__ = [
@@ -173,7 +174,7 @@ def monte_carlo_hypervolume(
     front = _clean_front(points, ref)
     if front.shape[0] == 0:
         return 0.0
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     ideal = front.min(axis=0)
     box = np.prod(ref - ideal)
     samples = rng.uniform(ideal, ref, size=(int(n_samples), ref.size))

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..design.sampling import latin_hypercube
+from ..rng import ensure_rng
 
 __all__ = ["DifferentialEvolution", "deb_fitness"]
 
@@ -79,7 +80,7 @@ class DifferentialEvolution:
         self.pop_size = int(pop_size)
         self.differential_weight = float(differential_weight)
         self.crossover_rate = float(crossover_rate)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.population: np.ndarray | None = None
         self.fitness: np.ndarray | None = None
         self._pending_trials: np.ndarray | None = None

@@ -25,6 +25,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from ..design.sampling import gaussian_ball, latin_hypercube
+from ..rng import ensure_rng
 
 __all__ = ["MSPOptimizer", "MSPResult"]
 
@@ -86,7 +87,7 @@ class MSPOptimizer:
         self.frac_around_low = float(frac_around_low)
         self.frac_around_high = float(frac_around_high)
         self.ball_stddev = float(ball_stddev)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
     def scatter(

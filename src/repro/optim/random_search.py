@@ -12,6 +12,7 @@ from typing import Callable
 import numpy as np
 
 from ..design.sampling import latin_hypercube
+from ..rng import ensure_rng
 from .msp import MSPResult
 
 __all__ = ["RandomSearch"]
@@ -30,7 +31,7 @@ class RandomSearch:
             raise ValueError("need dim >= 1 and n_samples >= 1")
         self.dim = int(dim)
         self.n_samples = int(n_samples)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     def maximize(
         self,

@@ -14,6 +14,7 @@ A :class:`Problem` is a constrained, possibly multi-fidelity black box:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -208,7 +209,7 @@ class FailedEvaluation(Evaluation):
         return kwargs
 
 
-def _plain(value):
+def _plain(value: Any) -> Any:
     """Coerce numpy scalars/arrays to JSON-friendly python values."""
     if isinstance(value, np.ndarray):
         return value.tolist()
@@ -245,7 +246,7 @@ class Problem:
         n_constraints: int = 0,
         fidelities: tuple[str, ...] = (FIDELITY_LOW, FIDELITY_HIGH),
         costs: dict[str, float] | None = None,
-    ):
+    ) -> None:
         if n_constraints < 0:
             raise ValueError("n_constraints must be >= 0")
         if not fidelities:

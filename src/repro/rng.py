@@ -1,0 +1,36 @@
+"""The single sanctioned entropy fallback for optional ``rng`` arguments.
+
+Reproducibility is load-bearing in this library: every optimizer threads
+spawned :class:`numpy.random.Generator` streams through its components
+(see :class:`repro.core.StrategyBase`), and checkpoints serialize every
+bit-generator state. An *unseeded* ``np.random.default_rng()`` buried in
+a library internal silently breaks that discipline — a caller who forgot
+to pass ``rng`` gets an irreproducible run with no visible signal.
+
+:func:`ensure_rng` is therefore the only place in the tree allowed to
+construct a generator from OS entropy, and the ``reprolint`` static
+checker (rule ``REPRO-RNG003``, :mod:`repro.devtools.analysis.rng`)
+enforces that every other ``default_rng()`` call is seeded or threaded.
+Public APIs keep their ``rng: Generator | None = None`` signatures —
+explicitly asking for fresh entropy remains supported — but the fallback
+is now auditable at one grep-able location.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    """Return ``rng`` unchanged, or a fresh entropy-seeded generator.
+
+    The only sanctioned unseeded ``default_rng()`` construction in the
+    library; everywhere else must pass a seed or thread an existing
+    generator (enforced by ``reprolint`` rule ``REPRO-RNG003``).
+    """
+    if rng is not None:
+        return rng
+    # reprolint: allow[REPRO-RNG003] sole sanctioned entropy fallback
+    return np.random.default_rng()

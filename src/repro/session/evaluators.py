@@ -61,7 +61,9 @@ class SerialEvaluator(Evaluator):
         ]
 
 
-def _evaluate_chunk(payload) -> list[Evaluation]:
+def _evaluate_chunk(
+    payload: tuple[Problem, list[tuple[np.ndarray, str]]],
+) -> list[Evaluation]:
     """Module-level worker so the pool can pickle it.
 
     Receives one contiguous chunk of suggestions so the (potentially
@@ -93,7 +95,7 @@ class ProcessPoolEvaluator(Evaluator):
     (or use the evaluator as a context manager) to shut it down.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or os.cpu_count() or 1

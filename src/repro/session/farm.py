@@ -36,20 +36,23 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import os
 import signal
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterator, NamedTuple, Sequence
+from typing import Any, Iterator, NamedTuple, Sequence
 
 import numpy as np
 
 from ..problems.base import Evaluation, FailedEvaluation, Problem
 from .evaluators import Evaluator, SerialEvaluator
 from .protocol import Suggestion
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "AsyncEvaluator",
@@ -68,7 +71,7 @@ class EvalResult(NamedTuple):
     evaluation: Evaluation
 
 
-def _run_one(payload):
+def _run_one(payload: tuple[Problem, np.ndarray, str]) -> tuple:
     """Worker entry point: evaluate one suggestion, never raise.
 
     Returns ``("ok", evaluation, wall_s)`` or ``("error", type_name,
@@ -80,6 +83,9 @@ def _run_one(payload):
     try:
         evaluation = problem.evaluate_unit(x_unit, fidelity)
     except Exception as exc:
+        # Deliberately broad: the exception is flattened into an
+        # ("error", ...) outcome that re-enters the retry/failure
+        # ladder on the dispatch side — nothing is swallowed here.
         return (
             "error",
             type(exc).__name__,
@@ -142,7 +148,7 @@ class AsyncEvaluator(Evaluator):
         retry_backoff_s: float = 0.25,
         retry_jitter: float = 0.25,
         seed: int = 0,
-    ):
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if timeout_s is not None and timeout_s <= 0:
@@ -186,8 +192,14 @@ class AsyncEvaluator(Evaluator):
             for process in list(getattr(pool, "_processes", {}).values()):
                 try:
                     process.terminate()
-                except Exception:
-                    pass
+                except Exception as exc:
+                    # Racing a worker that already exited is expected;
+                    # anything else deserves a trace, not silence.
+                    logger.warning(
+                        "terminating worker %s failed: %s",
+                        getattr(process, "pid", "?"),
+                        exc,
+                    )
         pool.shutdown(wait=False, cancel_futures=True)
 
     def worker_pids(self) -> list[int]:
@@ -336,7 +348,7 @@ class AsyncEvaluator(Evaluator):
             if expired:
                 self._handle_timeouts(expired)
 
-    def _handle_future(self, future) -> None:
+    def _handle_future(self, future: Future) -> None:
         ticket = self._inflight.pop(future, None)
         if ticket is None:  # already resolved by a pool teardown
             return
@@ -350,6 +362,7 @@ class AsyncEvaluator(Evaluator):
             else:  # unexpected submission-side error
                 self._resolve_error(task, type(exc).__name__, str(exc))
             return
+        # reprolint: allow[REPRO-CONC001] wait() already returned this future
         outcome = future.result()
         if outcome[0] == "ok":
             _, evaluation, wall = outcome
@@ -508,23 +521,25 @@ class FaultSpec:
 class _FaultyProblem:
     """Picklable proxy injecting faults around ``evaluate_unit``."""
 
-    def __init__(self, problem: Problem, spec: FaultSpec):
+    def __init__(self, problem: Problem, spec: FaultSpec) -> None:
         self._problem = problem
         self._spec = spec
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         if name.startswith("_"):
             raise AttributeError(name)
         return getattr(self._problem, name)
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict:
         return {"problem": self._problem, "spec": self._spec}
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict) -> None:
         self._problem = state["problem"]
         self._spec = state["spec"]
 
-    def evaluate_unit(self, u, fidelity=None):
+    def evaluate_unit(
+        self, u: np.ndarray, fidelity: str | None = None
+    ) -> Evaluation:
         problem, spec = self._problem, self._spec
         if fidelity is None:
             fidelity = problem.highest_fidelity
@@ -586,17 +601,19 @@ class FaultInjectingEvaluator(Evaluator):
         return _FaultyProblem(problem, self.spec)
 
     # --- ordered barrier contract -------------------------------------
-    def evaluate(self, problem, suggestions):
+    def evaluate(
+        self, problem: Problem, suggestions: Sequence[Suggestion]
+    ) -> list[Evaluation]:
         return self.inner.evaluate(self.wrap(problem), suggestions)
 
     # --- streaming pass-throughs (AsyncEvaluator inner) ---------------
-    def submit(self, problem, suggestion) -> int:
+    def submit(self, problem: Problem, suggestion: Suggestion) -> int:
         return self.inner.submit(self.wrap(problem), suggestion)
 
     def next_result(self, timeout: float | None = None) -> EvalResult:
         return self.inner.next_result(timeout)
 
-    def as_completed(self, timeout=None):
+    def as_completed(self, timeout: float | None = None) -> Iterator[EvalResult]:
         return self.inner.as_completed(timeout)
 
     @property

@@ -10,6 +10,7 @@ cycle without drift.
 from __future__ import annotations
 
 import copy
+from typing import Any
 
 import numpy as np
 
@@ -24,7 +25,7 @@ __all__ = [
 ]
 
 
-def _jsonify(value):
+def _jsonify(value: Any) -> Any:
     """Recursively convert numpy containers/scalars to JSON-safe values.
 
     PCG64 states are plain (big) ints, but e.g. Philox and SFC64 carry

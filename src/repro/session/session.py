@@ -71,7 +71,7 @@ def register_strategy(strategy_id: str, target: str) -> None:
     _STRATEGY_REGISTRY[strategy_id] = target
 
 
-def _resolve_strategy(strategy_id: str):
+def _resolve_strategy(strategy_id: str) -> type:
     try:
         target = _STRATEGY_REGISTRY[strategy_id]
     except KeyError:
@@ -150,7 +150,7 @@ class OptimizationSession:
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int | None = None,
         own_evaluator: bool | None = None,
-    ):
+    ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.strategy = strategy
