@@ -138,7 +138,12 @@ def simulate_pa(
     # during startup, producing nonphysical ratios; saturate the readout
     # at 120% the way a real measurement script would.
     efficiency = min(100.0 * p_load / p_dc, 120.0)
-    pout_dbm = to_dbm(p_load)
+    # A dead output (p_load == 0, e.g. the switch never turns on) makes
+    # to_dbm return -inf, which would poison the GP fit downstream;
+    # floor it at the failed-readout sentinel, which every Pout spec
+    # rejects by a wide margin.
+    pout_raw = to_dbm(p_load)
+    pout_dbm = pout_raw if np.isfinite(pout_raw) else FAILED_METRICS["Pout"]
     # Shift the raw (negative-dB) distortion onto the paper's positive
     # scale: a perfectly clean tone would read 0 dB at -40 dB raw THD.
     thd_raw = thd_db(v_tail, CARRIER_HZ, n_harmonics=8)

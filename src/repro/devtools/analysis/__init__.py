@@ -8,6 +8,10 @@ Rule families (IDs are stable; the full catalog is in the README's
 * ``REPRO-STAMP00x`` — MNA stamp conformance (:mod:`.stamps`)
 * ``REPRO-FAIL00x`` — failure-path finiteness (:mod:`.failures`)
 * ``REPRO-CONC00x`` — executor hygiene (:mod:`.concurrency`)
+* ``REPRO-XF00x`` — interprocedural exception flow
+  (:mod:`repro.devtools.dataflow.xflow`)
+* ``REPRO-TAINT00x`` — nondeterminism taint into checkpoints
+  (:mod:`repro.devtools.dataflow.taint`)
 
 Suppress a finding inline with ``# reprolint: allow[RULE-ID]`` on the
 flagged line or the line above, followed by a justification.
@@ -47,16 +51,26 @@ ALL_RULES: dict[str, str] = {}
 for _module in _CHECKER_MODULES:
     ALL_RULES.update(_module.RULES)
 
+# Imported after the per-module checkers so the dataflow package (which
+# pulls helpers from .engine/.failures) never sees a half-initialised
+# sibling; it contributes the interprocedural REPRO-XF/TAINT families.
+from .. import dataflow as _dataflow  # noqa: E402
+
+ALL_RULES.update(_dataflow.RULES)
+
 
 def run_lint(
     paths: Iterable[Path | str],
     rules: set[str] | None = None,
     manifest: dict[str, dict] | None = None,
+    keep_suppressed: bool = False,
 ) -> list[Finding]:
     """Run every checker over ``paths`` and return sorted findings.
 
     ``manifest`` overrides the committed schema manifest (tests inject
-    synthetic ones); ``rules`` restricts the run to a subset of IDs.
+    synthetic ones); ``rules`` restricts the run to a subset of IDs;
+    ``keep_suppressed`` returns inline-allowed findings too, marked
+    ``suppressed=True``, for machine output.
     """
     if manifest is None:
         manifest = load_manifest()
@@ -71,7 +85,13 @@ def run_lint(
         (failures.RULES, failures.check),
         (concurrency.RULES, concurrency.check),
     ]
-    return _run_lint(paths, checkers, rules=rules)
+    return _run_lint(
+        paths,
+        checkers,
+        rules=rules,
+        project_checkers=(_dataflow.check_project,),
+        keep_suppressed=keep_suppressed,
+    )
 
 
 def update_schema_manifest(

@@ -57,6 +57,9 @@ class Finding:
     line: int
     rule: str
     message: str
+    #: set by :func:`run_lint` with ``keep_suppressed=True`` so machine
+    #: consumers (``--format json``) can see allowed findings too.
+    suppressed: bool = False
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
@@ -248,35 +251,59 @@ def build_project_index(modules: Iterable[ModuleSource]) -> ProjectIndex:
 
 Checker = Callable[[ModuleSource, ProjectIndex], list[Finding]]
 
+#: Whole-program checker: sees every module and the index at once.
+ProjectChecker = Callable[
+    [list[ModuleSource], ProjectIndex, "set[str] | None"], list[Finding]
+]
+
 
 def run_lint(
     paths: Iterable[Path | str],
     checkers: Iterable[tuple[dict[str, str], Checker]],
     rules: set[str] | None = None,
+    project_checkers: Iterable[ProjectChecker] = (),
+    keep_suppressed: bool = False,
 ) -> list[Finding]:
     """Run ``checkers`` over every module under ``paths``.
 
-    ``checkers`` is a sequence of ``(rule_catalog, check_fn)`` pairs;
-    ``rules`` optionally restricts the run to a subset of rule IDs.
-    Returns findings sorted by path, line and rule, with inline
-    suppressions already filtered out.
+    ``checkers`` is a sequence of ``(rule_catalog, check_fn)`` pairs run
+    per module; ``project_checkers`` are called once with every parsed
+    module (for interprocedural rules). ``rules`` optionally restricts
+    the run to a subset of rule IDs. Returns findings sorted by path,
+    line and rule. Inline-suppressed findings are dropped unless
+    ``keep_suppressed`` is set, in which case they are returned with
+    ``suppressed=True`` for machine consumers.
     """
+    import dataclasses
+
     modules: list[ModuleSource] = []
     findings: list[Finding] = []
+    by_path = {}
     for path in iter_python_files(paths):
         loaded = load_module(path)
         if isinstance(loaded, Finding):
             findings.append(loaded)
         else:
             modules.append(loaded)
+            by_path[loaded.display_path] = loaded
+
+    def emit(module: ModuleSource | None, finding: Finding) -> None:
+        if rules is not None and finding.rule not in rules:
+            return
+        if module is not None and module.is_suppressed(finding):
+            if keep_suppressed:
+                findings.append(dataclasses.replace(finding, suppressed=True))
+            return
+        findings.append(finding)
+
     index = build_project_index(modules)
     for module in modules:
         for catalog, check in checkers:
             if rules is not None and not (set(catalog) & rules):
                 continue
             for finding in check(module, index):
-                if rules is not None and finding.rule not in rules:
-                    continue
-                if not module.is_suppressed(finding):
-                    findings.append(finding)
+                emit(module, finding)
+    for project_check in project_checkers:
+        for finding in project_check(modules, index, rules):
+            emit(by_path.get(finding.path), finding)
     return sorted(findings)

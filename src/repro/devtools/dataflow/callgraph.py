@@ -1,0 +1,433 @@
+"""Project-wide call graph on top of :class:`ProjectIndex`.
+
+The graph is deliberately *name-based and conservative*, matching the
+rest of reprolint: no type inference is attempted. Resolution order for
+a call site, from most to least precise:
+
+1. bare names — nested function definitions in the enclosing function,
+   then module-level definitions, then ``from``-imports resolved across
+   project modules (including relative imports and re-export chains
+   through package ``__init__`` files), then class names resolved to
+   their ``__init__`` constructor;
+2. ``self.m(...)`` / ``cls.m(...)`` — walked through the name-based MRO
+   of the enclosing class via :meth:`ProjectIndex.mro_names`; a miss
+   falls back to rule 3 so template-method hooks implemented only in
+   subclasses still get edges;
+3. ``obj.m(...)`` on an unknown receiver — a *dynamic* edge to every
+   project method named ``m``. This over-approximates, by design: an
+   exception escaping any same-named method is assumed reachable. Sites
+   resolved this way carry ``dynamic=True`` so rules can soften their
+   messages;
+4. anything else (calls of call results, subscripts, known stdlib/numpy
+   module attributes, external library functions) — an *external* site
+   with no targets.
+
+Functions are keyed ``module::Qual.name`` where ``module`` is the
+dotted :func:`~repro.devtools.analysis.engine.module_key` (with a
+trailing ``.__init__`` stripped) and ``Qual`` chains enclosing classes
+and functions (``Outer.method.inner`` for a nested def), so the graph
+distinguishes every definition in the project.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from ..analysis.engine import ModuleSource, ProjectIndex, dotted_name, module_key
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "build_call_graph",
+    "module_name_of",
+    "resolve_method",
+]
+
+FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Receiver roots that are known external libraries: attribute calls on
+#: these never resolve to project methods, so the dynamic fallback is
+#: skipped (``np.maximum(...)`` must not alias a project ``maximum``).
+_EXTERNAL_ROOTS = {
+    "np",
+    "numpy",
+    "math",
+    "json",
+    "os",
+    "time",
+    "scipy",
+    "ast",
+    "sys",
+    "re",
+    "itertools",
+    "logging",
+    "dataclasses",
+    "concurrent",
+    "multiprocessing",
+}
+
+
+def module_name_of(module: ModuleSource) -> str:
+    """Dotted module name with a trailing ``.__init__`` stripped."""
+    name = module_key(module.path)
+    if name.endswith(".__init__"):
+        return name[: -len(".__init__")]
+    return name
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qual: str
+    module_name: str
+    class_name: str | None
+    name: str
+    node: FunctionDef
+    module: ModuleSource
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return tuple(names)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A resolved call expression inside some function body."""
+
+    call: ast.Call
+    targets: tuple[str, ...]
+    dynamic: bool = False
+
+    @property
+    def lineno(self) -> int:
+        return self.call.lineno
+
+
+@dataclass
+class CallGraph:
+    """Functions plus per-function resolved call sites."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    call_sites: dict[str, tuple[CallSite, ...]] = field(default_factory=dict)
+    #: method short-name -> quals of every project method with that name.
+    methods_by_name: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def sites(self, qual: str) -> tuple[CallSite, ...]:
+        return self.call_sites.get(qual, ())
+
+    def callees(self, qual: str) -> set[str]:
+        return {t for site in self.sites(qual) for t in site.targets}
+
+
+def resolve_method(
+    index: ProjectIndex, class_name: str, attr: str
+) -> tuple[str, FunctionDef] | None:
+    """First MRO class defining method ``attr``; ``(owner_qual, node)``.
+
+    ``owner_qual`` is the graph key ``module::Owner.attr``. Returns
+    ``None`` when no project class on the (name-based) MRO defines it.
+    """
+    for name in index.mro_names(class_name):
+        info = index.classes.get(name)
+        if info is None:
+            continue
+        for stmt in info.node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == attr
+            ):
+                module = info.module
+                if module.endswith(".__init__"):
+                    module = module[: -len(".__init__")]
+                return f"{module}::{name}.{attr}", stmt
+    return None
+
+
+# ---------------------------------------------------------------------------
+# module symbol tables
+
+
+def _resolve_relative(raw_key: str, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted module named by a (possibly relative) import.
+
+    ``raw_key`` is the *unstripped* :func:`module_key` — the trailing
+    ``.__init__`` matters: a package's own relative imports resolve
+    against the package itself, not its parent.
+    """
+    if node.level == 0:
+        return node.module
+    package = raw_key.split(".")[:-1]
+    strip = node.level - 1  # level 1 = current package
+    if strip > len(package):
+        return None
+    base = package[: len(package) - strip] if strip else package
+    if node.module:
+        return ".".join(base + node.module.split("."))
+    return ".".join(base) if base else None
+
+
+@dataclass
+class _ModuleSymbols:
+    """Name-resolution context for one module."""
+
+    #: local name -> qual of a module-level function in this project.
+    functions: dict[str, str] = field(default_factory=dict)
+    #: local name -> project class name (for constructor edges).
+    classes: dict[str, str] = field(default_factory=dict)
+    #: local alias -> absolute module name (``import x.y as z``).
+    module_aliases: dict[str, str] = field(default_factory=dict)
+
+
+def _collect_definitions(
+    modules: Iterable[ModuleSource],
+) -> tuple[dict[str, FunctionInfo], dict[str, dict[str, str]]]:
+    """Register every def/class; returns ``(functions, module_toplevel)``.
+
+    ``module_toplevel[module_name]`` maps top-level names to a function
+    qual or, for classes, the class name prefixed ``class:``.
+    """
+    functions: dict[str, FunctionInfo] = {}
+    module_toplevel: dict[str, dict[str, str]] = {}
+
+    def visit(
+        module: ModuleSource,
+        module_name: str,
+        node: ast.AST,
+        qual_prefix: str,
+        class_name: str | None,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = f"{qual_prefix}.{child.name}" if qual_prefix else child.name
+                qual = f"{module_name}::{local}"
+                functions[qual] = FunctionInfo(
+                    qual=qual,
+                    module_name=module_name,
+                    class_name=class_name,
+                    name=child.name,
+                    node=child,
+                    module=module,
+                )
+                if not qual_prefix:
+                    module_toplevel[module_name][child.name] = qual
+                # A def nested inside a method is a plain closure; it
+                # keeps no enclosing class for self-resolution.
+                visit(module, module_name, child, local, None)
+            elif isinstance(child, ast.ClassDef):
+                local = f"{qual_prefix}.{child.name}" if qual_prefix else child.name
+                if not qual_prefix:
+                    module_toplevel[module_name][child.name] = f"class:{child.name}"
+                visit(module, module_name, child, local, child.name)
+
+    for module in modules:
+        module_name = module_name_of(module)
+        module_toplevel.setdefault(module_name, {})
+        visit(module, module_name, module.tree, "", None)
+    return functions, module_toplevel
+
+
+def _build_symbol_tables(
+    modules: list[ModuleSource],
+    module_toplevel: dict[str, dict[str, str]],
+    index: ProjectIndex,
+) -> dict[str, _ModuleSymbols]:
+    """Per-module name tables, iterated so re-export chains resolve."""
+    tables: dict[str, _ModuleSymbols] = {}
+    for module in modules:
+        name = module_name_of(module)
+        symbols = _ModuleSymbols()
+        for local, target in module_toplevel.get(name, {}).items():
+            if target.startswith("class:"):
+                symbols.classes[local] = target[len("class:") :]
+            else:
+                symbols.functions[local] = target
+        tables[name] = symbols
+
+    # Fixpoint over from-imports: ``from ..spice import solve_dc`` may
+    # name a symbol that the package __init__ itself re-imported.
+    changed = True
+    while changed:
+        changed = False
+        for module in modules:
+            name = module_name_of(module)
+            raw_key = module_key(module.path)
+            symbols = tables[name]
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name in module_toplevel:
+                            local = alias.asname or alias.name
+                            if symbols.module_aliases.get(local) != alias.name:
+                                symbols.module_aliases[local] = alias.name
+                                changed = True
+                    continue
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                source = _resolve_relative(raw_key, node)
+                if source is None:
+                    continue
+                source_symbols = tables.get(source)
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    func = None
+                    cls = None
+                    if source_symbols is not None:
+                        func = source_symbols.functions.get(alias.name)
+                        cls = source_symbols.classes.get(alias.name)
+                    if func is None and cls is None and alias.name in index.classes:
+                        cls = alias.name
+                    if func is not None and symbols.functions.get(local) != func:
+                        symbols.functions[local] = func
+                        changed = True
+                    if cls is not None and symbols.classes.get(local) != cls:
+                        symbols.classes[local] = cls
+                        changed = True
+    return tables
+
+
+# ---------------------------------------------------------------------------
+# call resolution
+
+
+class _SiteCollector(ast.NodeVisitor):
+    """Collect call expressions in one function body, skipping nested defs."""
+
+    def __init__(self) -> None:
+        self.calls: list[ast.Call] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested definitions get their own graph node; their bodies run
+        # when called, not where defined. Decorators/defaults do run.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in node.args.defaults + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+def _constructor_target(
+    class_name: str, index: ProjectIndex, functions: dict[str, FunctionInfo]
+) -> str | None:
+    """Qual of ``class_name.__init__`` if the project defines one."""
+    resolved = resolve_method(index, class_name, "__init__")
+    if resolved is None:
+        return None
+    qual, _ = resolved
+    return qual if qual in functions else None
+
+
+def _resolve_call(
+    call: ast.Call,
+    info: FunctionInfo,
+    symbols: _ModuleSymbols,
+    local_defs: dict[str, str],
+    index: ProjectIndex,
+    functions: dict[str, FunctionInfo],
+    methods_by_name: dict[str, tuple[str, ...]],
+    module_toplevel: dict[str, dict[str, str]],
+) -> CallSite:
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in local_defs:
+            return CallSite(call, (local_defs[name],))
+        if name in symbols.functions:
+            return CallSite(call, (symbols.functions[name],))
+        if name in symbols.classes:
+            target = _constructor_target(symbols.classes[name], index, functions)
+            return CallSite(call, (target,) if target else ())
+        return CallSite(call, ())
+
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        value = func.value
+        if isinstance(value, ast.Name):
+            receiver = value.id
+            if receiver in ("self", "cls") and info.class_name is not None:
+                resolved = resolve_method(index, info.class_name, attr)
+                if resolved is not None and resolved[0] in functions:
+                    return CallSite(call, (resolved[0],))
+                # Hook implemented only in subclasses (template method):
+                # degrade to the conservative name-based edge set.
+                return CallSite(call, methods_by_name.get(attr, ()), dynamic=True)
+            if receiver in symbols.module_aliases:
+                source = symbols.module_aliases[receiver]
+                target = module_toplevel.get(source, {}).get(attr)
+                if target is None:
+                    return CallSite(call, ())
+                if target.startswith("class:"):
+                    ctor = _constructor_target(
+                        target[len("class:") :], index, functions
+                    )
+                    return CallSite(call, (ctor,) if ctor else ())
+                return CallSite(call, (target,))
+            dotted = dotted_name(func)
+            if dotted is not None and dotted.split(".", 1)[0] in _EXTERNAL_ROOTS:
+                return CallSite(call, ())
+        # Unknown receiver: conservative dynamic dispatch by name.
+        return CallSite(call, methods_by_name.get(attr, ()), dynamic=True)
+
+    return CallSite(call, ())
+
+
+def build_call_graph(
+    modules: Iterable[ModuleSource], index: ProjectIndex
+) -> CallGraph:
+    """Build the project call graph for ``modules``."""
+    modules = list(modules)
+    functions, module_toplevel = _collect_definitions(modules)
+
+    methods: dict[str, list[str]] = {}
+    for qual, info in functions.items():
+        if info.class_name is not None:
+            methods.setdefault(info.name, []).append(qual)
+    methods_by_name = {name: tuple(sorted(quals)) for name, quals in methods.items()}
+
+    # name -> qual of immediately nested defs, per enclosing function.
+    nested: dict[str, dict[str, str]] = {}
+    for qual, info in functions.items():
+        module_part, _, local = qual.partition("::")
+        prefix, _, leaf = local.rpartition(".")
+        enclosing = f"{module_part}::{prefix}"
+        if prefix and enclosing in functions:
+            nested.setdefault(enclosing, {})[leaf] = qual
+
+    tables = _build_symbol_tables(modules, module_toplevel, index)
+
+    graph = CallGraph(functions=functions, methods_by_name=methods_by_name)
+    for qual, info in functions.items():
+        symbols = tables[info.module_name]
+        collector = _SiteCollector()
+        for stmt in info.node.body:
+            collector.visit(stmt)
+        graph.call_sites[qual] = tuple(
+            _resolve_call(
+                call,
+                info,
+                symbols,
+                nested.get(qual, {}),
+                index,
+                functions,
+                methods_by_name,
+                module_toplevel,
+            )
+            for call in collector.calls
+        )
+    return graph

@@ -1,0 +1,147 @@
+"""Nondeterminism-taint rules (REPRO-TAINT001..003).
+
+Bit-exact checkpoint/resume (PR 3/5/6) dies the moment a value that
+differs between two runs of the same seed lands in a checkpoint payload
+or a suggestion. These rules consume the interprocedural summaries from
+:mod:`.summaries` and flag taint reaching the *sinks* that feed
+checkpoints and the optimizer trajectory:
+
+* return values of ``state_dict`` / ``to_dict`` / ``_extra_state`` /
+  ``config_dict`` (checkpoint payload builders) and of
+  ``Strategy.suggest`` / ``_initial_suggestions`` (trajectory);
+* arguments of ``Suggestion(...)`` constructions (what observe/resume
+  replays);
+* arguments of ``json.dump``/``json.dumps`` (checkpoint writes).
+
+Rules by taint kind:
+
+* TAINT001 — wall-clock (``time.*``) or environment (``os.environ``)
+  values. Telemetry timing is fine *inside* a run; it must not become
+  state that resume replays.
+* TAINT002 — set-iteration order or ``id()`` values: stable within a
+  process, different across processes, so resumed runs diverge
+  silently. Sort before serialising.
+* TAINT003 — entropy that bypassed the spawned-stream discipline
+  (numpy global RNG, unseeded ``default_rng()``);
+  :func:`repro.rng.ensure_rng` is the sanctioned boundary and
+  sanitizes this kind.
+
+Suppress intentional flows with ``# reprolint: allow[RULE-ID] why`` on
+the flagged line, exactly like every other reprolint rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..analysis.engine import Finding, dotted_name
+from .summaries import DataflowContext, own_body_nodes
+
+__all__ = ["RULES", "check"]
+
+RULES = {
+    "REPRO-TAINT001": (
+        "wall-clock or environment value reaches checkpoint state or "
+        "suggest output"
+    ),
+    "REPRO-TAINT002": (
+        "iteration-order- or id()-dependent value reaches checkpoint "
+        "state or suggest output"
+    ),
+    "REPRO-TAINT003": (
+        "RNG entropy outside the spawned-stream discipline reaches "
+        "checkpoint state or suggest output"
+    ),
+}
+
+#: Function names whose return value is serialized or replayed.
+_SINK_RETURNS = {
+    "state_dict": "checkpoint state",
+    "to_dict": "serialized payload",
+    "_extra_state": "checkpoint state",
+    "config_dict": "resume config",
+    "suggest": "suggest output",
+    "_initial_suggestions": "suggest output",
+}
+
+#: Callables whose arguments are persisted.
+_SINK_CALL_NAMES = {"json.dump", "json.dumps"}
+_SINK_CONSTRUCTORS = {"Suggestion"}
+
+_KIND_RULES = {
+    "wallclock": "REPRO-TAINT001",
+    "environ": "REPRO-TAINT001",
+    "order": "REPRO-TAINT002",
+    "entropy": "REPRO-TAINT003",
+}
+
+_KIND_LABELS = {
+    "wallclock": "wall-clock time",
+    "environ": "os.environ",
+    "order": "set-iteration order or id()",
+    "entropy": "unseeded RNG entropy",
+}
+
+
+def _report(
+    findings: list[Finding],
+    path: str,
+    line: int,
+    kinds: frozenset,
+    sink_label: str,
+) -> None:
+    for kind in sorted(kinds):
+        rule = _KIND_RULES.get(kind)
+        if rule is None:
+            continue
+        findings.append(
+            Finding(
+                path,
+                line,
+                rule,
+                f"{_KIND_LABELS[kind]} flows into {sink_label}; "
+                "derive it deterministically or suppress with justification",
+            )
+        )
+
+
+def check(ctx: DataflowContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for qual, info in sorted(ctx.graph.functions.items()):
+        path = info.module.display_path
+        evaluator = ctx.evaluator(qual)
+
+        sink_label = _SINK_RETURNS.get(info.name)
+        if sink_label is not None:
+            for node in own_body_nodes(info.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    kinds = frozenset(
+                        t for t in evaluator.taint(node.value) if isinstance(t, str)
+                    )
+                    _report(
+                        findings,
+                        path,
+                        node.lineno,
+                        kinds,
+                        f"the {sink_label} returned by {info.name}()",
+                    )
+
+        for node in own_body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            short = name.rsplit(".", 1)[-1]
+            if name in _SINK_CALL_NAMES:
+                label = f"a {short}() checkpoint write"
+            elif short in _SINK_CONSTRUCTORS:
+                label = f"a {short}() the optimizer will replay"
+            else:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                kinds = frozenset(
+                    t for t in evaluator.taint(arg) if isinstance(t, str)
+                )
+                _report(findings, path, node.lineno, kinds, label)
+    return findings

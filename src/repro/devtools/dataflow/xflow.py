@@ -1,0 +1,483 @@
+"""Exception-flow rules (REPRO-XF001..003).
+
+The failure-path contract (PR 6) is interprocedural by nature: a
+``Problem`` declares ``failure_exceptions``, ``evaluate()`` catches
+exactly those, and *everything else* escaping an ``_evaluate*`` call
+chain kills the run. PR 7's FAIL001 sees only raises written directly
+in the ``_evaluate*`` body; these rules walk the call graph:
+
+* XF001 — an exception type that can propagate out of a helper called
+  (transitively) from ``_evaluate``/``_evaluate_multi`` but is neither
+  in that Problem's ``failure_exceptions`` (subclass-aware, matching
+  the runtime ``except self.failure_exceptions`` semantics) nor in the
+  builtin *escape set* of programming-error types that are supposed to
+  surface (``ValueError``, ``TypeError``, ``KeyError``, ...). The
+  escape set is matched by exact name: a custom subclass of
+  ``RuntimeError`` (e.g. ``ConvergenceError``) still must be
+  registered.
+* XF002 — an ``except`` clause swallowing a type the evaluator farm's
+  retry ladder depends on (``BaseException``, ``KeyboardInterrupt``,
+  ``SystemExit``, ``GeneratorExit``, ``BrokenProcessPool``,
+  ``TimeoutError``, ``SimulatedCrashError``) or a bare ``except``,
+  without re-raising. Swallowing these turns worker crashes and
+  timeouts into silent hangs or corrupted retry accounting.
+* XF003 — a non-finite sentinel (``np.inf``/``float("nan")`` taint from
+  the summary engine) reaching an ``_evaluate*`` return value through
+  any call chain. FAIL002 flags literals written in the method itself;
+  XF003 catches the helper three calls down that returns ``-inf``.
+
+Per-function escaping-exception sets are computed with full
+``try``/``except`` awareness (handler filtering is subclass-aware via
+the project index plus a builtin hierarchy table; bare re-raises inside
+handlers re-raise the caught names) and iterated over the call graph to
+a fixpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..analysis.engine import Finding, ProjectIndex, dotted_name
+from ..analysis.failures import (
+    _ALWAYS_ALLOWED,
+    _EVALUATE_METHODS,
+    _failure_exception_names,
+    _is_problem_like,
+    _nonfinite_literals,
+)
+from .callgraph import CallSite, FunctionInfo
+from .summaries import DataflowContext, own_body_nodes
+
+__all__ = ["RULES", "BUILTIN_ESCAPES", "CRITICAL_TYPES", "check", "escape_names"]
+
+RULES = {
+    "REPRO-XF001": (
+        "exception can escape an _evaluate* call chain without being in "
+        "failure_exceptions or the builtin escape set"
+    ),
+    "REPRO-XF002": (
+        "except clause swallows an exception type the evaluator farm's "
+        "retry logic depends on"
+    ),
+    "REPRO-XF003": (
+        "non-finite sentinel value can reach an _evaluate* return through "
+        "a call chain"
+    ),
+}
+
+#: Programming-error types allowed to escape ``_evaluate*`` unregistered:
+#: they indicate bugs that *should* kill the run loudly. Matched by exact
+#: name — environmental errors (``OSError`` family) and custom subclasses
+#: must be registered in ``failure_exceptions`` explicitly.
+BUILTIN_ESCAPES = frozenset(
+    {
+        "NotImplementedError",
+        "TypeError",
+        "ValueError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "AttributeError",
+        "AssertionError",
+        "RuntimeError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OverflowError",
+        "FloatingPointError",
+        "StopIteration",
+        "NameError",
+        "ImportError",
+        "MemoryError",
+        "RecursionError",
+    }
+)
+
+#: Exception types the farm's control flow depends on observing.
+CRITICAL_TYPES = frozenset(
+    {
+        "BaseException",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "GeneratorExit",
+        "BrokenProcessPool",
+        "TimeoutError",
+        "FuturesTimeoutError",
+        "SimulatedCrashError",
+    }
+)
+
+#: Partial builtin exception hierarchy for subclass-aware handler checks.
+_BUILTIN_BASES: dict[str, tuple[str, ...]] = {
+    "Exception": ("BaseException",),
+    "ValueError": ("Exception",),
+    "TypeError": ("Exception",),
+    "LookupError": ("Exception",),
+    "KeyError": ("LookupError",),
+    "IndexError": ("LookupError",),
+    "ArithmeticError": ("Exception",),
+    "ZeroDivisionError": ("ArithmeticError",),
+    "OverflowError": ("ArithmeticError",),
+    "FloatingPointError": ("ArithmeticError",),
+    "RuntimeError": ("Exception",),
+    "NotImplementedError": ("RuntimeError",),
+    "RecursionError": ("RuntimeError",),
+    "OSError": ("Exception",),
+    "TimeoutError": ("OSError",),
+    "FileNotFoundError": ("OSError",),
+    "PermissionError": ("OSError",),
+    "AttributeError": ("Exception",),
+    "NameError": ("Exception",),
+    "ImportError": ("Exception",),
+    "ModuleNotFoundError": ("ImportError",),
+    "StopIteration": ("Exception",),
+    "AssertionError": ("Exception",),
+    "MemoryError": ("Exception",),
+    "KeyboardInterrupt": ("BaseException",),
+    "SystemExit": ("BaseException",),
+    "GeneratorExit": ("BaseException",),
+    "LinAlgError": ("Exception",),
+}
+
+#: Catch-all handler names: everything tracked here is assumed caught.
+_CATCH_ALL = {"Exception", "BaseException"}
+
+
+def _ancestors(index: ProjectIndex, name: str) -> set[str]:
+    """Name-based superclass closure via project index + builtin table."""
+    seen: set[str] = set()
+    queue = [name]
+    while queue:
+        current = queue.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = index.classes.get(current)
+        if info is not None:
+            queue.extend(info.base_names)
+        queue.extend(_BUILTIN_BASES.get(current, ()))
+    return seen
+
+
+@dataclass(frozen=True)
+class _Origin:
+    """Where an escaping exception enters the analysed body."""
+
+    line: int
+    via_call: bool
+    source: str  # callee qual for calls, "raise" for direct raises
+
+
+_Escapes = dict  # str -> _Origin
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str] | None:
+    """Short type names a handler catches; ``None`` for bare except."""
+    if handler.type is None:
+        return None
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    names: list[str] = []
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None:
+            names.append(name.rsplit(".", 1)[-1])
+    return names
+
+
+def _caught_by(index: ProjectIndex, exc_name: str, names: list[str] | None) -> bool:
+    if names is None:
+        return True  # bare except
+    if any(n in _CATCH_ALL for n in names):
+        # Exception does not catch the BaseException-only trio.
+        if "BaseException" in names:
+            return True
+        return exc_name not in ("KeyboardInterrupt", "SystemExit", "GeneratorExit")
+    ancestors = _ancestors(index, exc_name)
+    return any(n in ancestors for n in names)
+
+
+class _EscapeAnalysis:
+    """Per-function escaping-exception fixpoint over the call graph."""
+
+    def __init__(self, ctx: DataflowContext) -> None:
+        self.ctx = ctx
+        self.names: dict[str, frozenset] = {
+            qual: frozenset() for qual in ctx.graph.functions
+        }
+
+    def run(self) -> None:
+        order = sorted(self.ctx.graph.functions)
+        for _ in range(30):
+            changed = False
+            for qual in order:
+                info = self.ctx.graph.functions[qual]
+                escapes = self._body_escapes(info, info.node.body)
+                new = frozenset(escapes)
+                if new != self.names[qual]:
+                    self.names[qual] = new
+                    changed = True
+            if not changed:
+                break
+
+    # -- statement walk ---------------------------------------------------
+
+    def _expr_escapes(self, info: FunctionInfo, node: ast.AST) -> _Escapes:
+        """Escapes contributed by call sites inside one expression/stmt."""
+        out: _Escapes = {}
+        sites = self.ctx.sites.get(info.qual, {})
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(current, ast.Call):
+                site = sites.get(id(current))
+                if site is not None:
+                    self._site_escapes(site, out)
+            stack.extend(ast.iter_child_nodes(current))
+        return out
+
+    def _site_escapes(self, site: CallSite, out: _Escapes) -> None:
+        for target in site.targets:
+            for name in self.names.get(target, ()):
+                out.setdefault(name, _Origin(site.lineno, True, target))
+
+    def _body_escapes(
+        self, info: FunctionInfo, stmts: list[ast.stmt]
+    ) -> _Escapes:
+        out: _Escapes = {}
+        for stmt in stmts:
+            for name, origin in self._stmt_escapes(info, stmt).items():
+                out.setdefault(name, origin)
+        return out
+
+    def _stmt_escapes(self, info: FunctionInfo, stmt: ast.stmt) -> _Escapes:
+        if isinstance(stmt, ast.Try):
+            return self._try_escapes(info, stmt)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return {}
+        if isinstance(stmt, ast.Raise):
+            out = self._expr_escapes(info, stmt)
+            name = _direct_raise_name(stmt)
+            if name is not None:
+                out.setdefault(name, _Origin(stmt.lineno, False, "raise"))
+            return out
+
+        out: _Escapes = {}
+        body_lists = []
+        header_exprs: list[ast.AST] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            header_exprs = [stmt.test]
+            body_lists = [stmt.body, stmt.orelse]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            header_exprs = [stmt.iter]
+            body_lists = [stmt.body, stmt.orelse]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header_exprs = [item.context_expr for item in stmt.items]
+            body_lists = [stmt.body]
+        else:
+            header_exprs = [stmt]
+
+        for expr in header_exprs:
+            for name, origin in self._expr_escapes(info, expr).items():
+                out.setdefault(name, origin)
+        for body in body_lists:
+            for name, origin in self._body_escapes(info, body).items():
+                out.setdefault(name, origin)
+        return out
+
+    def _try_escapes(self, info: FunctionInfo, stmt: ast.Try) -> _Escapes:
+        out: _Escapes = {}
+        body_escapes = self._body_escapes(info, stmt.body)
+        handler_names = [_handler_names(h) for h in stmt.handlers]
+        for name, origin in body_escapes.items():
+            if not any(
+                _caught_by(self.ctx.index, name, names) for names in handler_names
+            ):
+                out.setdefault(name, origin)
+        for handler, names in zip(stmt.handlers, handler_names):
+            for name, origin in self._body_escapes(info, handler.body).items():
+                out.setdefault(name, origin)
+            if _has_bare_reraise(handler) and names:
+                # ``except X: ...; raise`` re-raises what it caught.
+                for name in names:
+                    if name in body_escapes:
+                        out.setdefault(name, body_escapes[name])
+        for body in (stmt.orelse, stmt.finalbody):
+            for name, origin in self._body_escapes(info, body).items():
+                out.setdefault(name, origin)
+        return out
+
+
+def _direct_raise_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if exc is None:
+        return None  # bare re-raise: handled by the Try branch
+    name = dotted_name(exc)
+    return None if name is None else name.rsplit(".", 1)[-1]
+
+
+def _has_bare_reraise(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def escape_names(ctx: DataflowContext) -> dict[str, frozenset]:
+    """Fixpoint map of function qual -> escaping exception short names."""
+    analysis = _EscapeAnalysis(ctx)
+    analysis.run()
+    return analysis.names
+
+
+# ---------------------------------------------------------------------------
+# rules
+
+
+def _covered(
+    index: ProjectIndex, exc_name: str, allowed: set[str]
+) -> bool:
+    """Mirror runtime ``except self.failure_exceptions`` + lint policy."""
+    if exc_name in allowed or exc_name in _ALWAYS_ALLOWED:
+        return True
+    if exc_name in BUILTIN_ESCAPES:
+        return True
+    # Registered base class catches subclasses at runtime.
+    return bool(_ancestors(index, exc_name) & allowed)
+
+
+def _check_xf001(ctx: DataflowContext, analysis: _EscapeAnalysis) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_problem_like(ctx.index, node):
+                continue
+            allowed = _failure_exception_names(ctx.index, node.name)
+            if allowed is None:
+                continue  # dynamically built registry: cannot check
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name not in _EVALUATE_METHODS:
+                    continue
+                qual = _method_qual(ctx, module, node.name, stmt.name)
+                if qual is None:
+                    continue
+                info = ctx.graph.functions[qual]
+                escapes = analysis._body_escapes(info, info.node.body)
+                for exc_name, origin in sorted(escapes.items()):
+                    if not origin.via_call:
+                        continue  # direct raises are FAIL001's job
+                    if _covered(ctx.index, exc_name, allowed):
+                        continue
+                    callee = origin.source.split("::", 1)[-1]
+                    findings.append(
+                        Finding(
+                            module.display_path,
+                            origin.line,
+                            "REPRO-XF001",
+                            f"{node.name}.{stmt.name}() can leak {exc_name} "
+                            f"from {callee}(); add it to failure_exceptions "
+                            "or handle it at the call site",
+                        )
+                    )
+    return findings
+
+
+def _check_xf002(ctx: DataflowContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                names = _handler_names(handler)
+                if names is None:
+                    swallowed = ["<bare except>"]
+                elif set(names) & CRITICAL_TYPES:
+                    swallowed = sorted(set(names) & CRITICAL_TYPES)
+                else:
+                    continue
+                if _has_any_raise(handler):
+                    continue
+                findings.append(
+                    Finding(
+                        module.display_path,
+                        handler.lineno,
+                        "REPRO-XF002",
+                        f"handler swallows {', '.join(swallowed)} without "
+                        "re-raising; the farm's retry/timeout logic depends "
+                        "on observing it",
+                    )
+                )
+    return findings
+
+
+def _has_any_raise(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _check_xf003(ctx: DataflowContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_problem_like(ctx.index, node):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name not in _EVALUATE_METHODS:
+                    continue
+                if _nonfinite_literals(stmt):
+                    continue  # literal in the body itself: FAIL002's job
+                qual = _method_qual(ctx, module, node.name, stmt.name)
+                if qual is None:
+                    continue
+                for child in own_body_nodes(ctx.graph.functions[qual].node):
+                    if not isinstance(child, ast.Return) or child.value is None:
+                        continue
+                    kinds = ctx.expr_taint(qual, child.value)
+                    if "nonfinite" in kinds:
+                        findings.append(
+                            Finding(
+                                module.display_path,
+                                child.lineno,
+                                "REPRO-XF003",
+                                f"{node.name}.{stmt.name}() return value can "
+                                "carry a non-finite sentinel (inf/nan) from a "
+                                "helper; guard it or raise a registered "
+                                "failure exception",
+                            )
+                        )
+    return findings
+
+
+def _method_qual(
+    ctx: DataflowContext, module, class_name: str, method: str
+) -> str | None:
+    from .callgraph import module_name_of
+
+    qual = f"{module_name_of(module)}::{class_name}.{method}"
+    return qual if qual in ctx.graph.functions else None
+
+
+def check(ctx: DataflowContext) -> list[Finding]:
+    analysis = _EscapeAnalysis(ctx)
+    analysis.run()
+    return _check_xf001(ctx, analysis) + _check_xf002(ctx) + _check_xf003(ctx)

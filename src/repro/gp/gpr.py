@@ -85,7 +85,7 @@ class GPR:
         noise_bounds: tuple[float, float] | None = None,
         normalize_y: bool = True,
         max_opt_iter: int = 100,
-    ):
+    ) -> None:
         if noise_variance <= 0:
             raise ValueError("noise_variance must be positive")
         if max_opt_iter < 1:

@@ -13,6 +13,8 @@ paper (eq. 9) is assembled, see :func:`nargp_kernel`.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 __all__ = [
@@ -31,8 +33,19 @@ _SQRT3 = np.sqrt(3.0)
 _SQRT5 = np.sqrt(5.0)
 
 # Default log-space bounds used when none are given explicitly.
-_LOG_VARIANCE_BOUNDS = (np.log(1e-6), np.log(1e4))
-_LOG_LENGTHSCALE_BOUNDS = (np.log(1e-3), np.log(1e3))
+_LOG_VARIANCE_BOUNDS: tuple[float, float] = (float(np.log(1e-6)), float(np.log(1e4)))
+_LOG_LENGTHSCALE_BOUNDS: tuple[float, float] = (float(np.log(1e-3)), float(np.log(1e3)))
+
+
+def _bounds_pair(
+    bounds: Sequence[float] | None, default: tuple[float, float]
+) -> tuple[float, float]:
+    """Normalize a user-supplied ``(low, high)`` pair, falling back to
+    ``default`` when none is given."""
+    if bounds is None:
+        return default
+    low, high = bounds
+    return (float(low), float(high))
 
 
 def _as_2d(x: np.ndarray) -> np.ndarray:
@@ -166,7 +179,11 @@ class Kernel:
 class _ActiveDimsMixin:
     """Shared column-slicing behaviour for leaf kernels."""
 
-    def _init_active_dims(self, active_dims) -> None:
+    active_dims: np.ndarray | None
+
+    def _init_active_dims(
+        self, active_dims: Sequence[int] | np.ndarray | None
+    ) -> None:
         if active_dims is None:
             self.active_dims = None
         else:
@@ -185,49 +202,64 @@ class _ActiveDimsMixin:
 class ConstantKernel(_ActiveDimsMixin, Kernel):
     """Constant covariance ``k(x1, x2) = variance``."""
 
-    def __init__(self, variance: float = 1.0, bounds=None):
+    def __init__(
+        self, variance: float = 1.0, bounds: Sequence[float] | None = None
+    ) -> None:
         if variance <= 0:
             raise ValueError("variance must be positive")
         self._log_variance = float(np.log(variance))
-        self._bounds = [tuple(bounds) if bounds is not None else _LOG_VARIANCE_BOUNDS]
+        self._bounds = [_bounds_pair(bounds, _LOG_VARIANCE_BOUNDS)]
         self._init_active_dims(None)
 
     @property
     def variance(self) -> float:
         return float(np.exp(self._log_variance))
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         x1 = _as_2d(x1)
         n2 = x1.shape[0] if x2 is None else _as_2d(x2).shape[0]
         return np.full((x1.shape[0], n2), self.variance)
 
-    def diag(self, x):
+    def diag(self, x: np.ndarray) -> np.ndarray:
         return np.full(_as_2d(x).shape[0], self.variance)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         n = _as_2d(x).shape[0]
         return np.full((1, n, n), self.variance)
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         return np.array([self.variance * float(np.sum(inner))])
 
     @property
-    def theta(self):
+    def theta(self) -> np.ndarray:
         return np.array([self._log_variance])
 
     @theta.setter
-    def theta(self, value):
+    def theta(self, value: np.ndarray) -> None:
         value = np.asarray(value, dtype=float).ravel()
         if value.size != 1:
             raise ValueError("ConstantKernel has exactly one parameter")
         self._log_variance = float(value[0])
 
     @property
-    def bounds(self):
+    def bounds(self) -> list[tuple[float, float]]:
         return list(self._bounds)
 
     @property
-    def param_names(self):
+    def param_names(self) -> list[str]:
         return ["constant.variance"]
 
 
@@ -239,51 +271,66 @@ class WhiteKernel(_ActiveDimsMixin, Kernel):
     explicit noise component.
     """
 
-    def __init__(self, variance: float = 1.0, bounds=None):
+    def __init__(
+        self, variance: float = 1.0, bounds: Sequence[float] | None = None
+    ) -> None:
         if variance <= 0:
             raise ValueError("variance must be positive")
         self._log_variance = float(np.log(variance))
-        self._bounds = [tuple(bounds) if bounds is not None else _LOG_VARIANCE_BOUNDS]
+        self._bounds = [_bounds_pair(bounds, _LOG_VARIANCE_BOUNDS)]
         self._init_active_dims(None)
 
     @property
     def variance(self) -> float:
         return float(np.exp(self._log_variance))
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         x1 = _as_2d(x1)
         if x2 is None:
             return self.variance * np.eye(x1.shape[0])
         x2 = _as_2d(x2)
         return np.zeros((x1.shape[0], x2.shape[0]))
 
-    def diag(self, x):
+    def diag(self, x: np.ndarray) -> np.ndarray:
         return np.full(_as_2d(x).shape[0], self.variance)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         n = _as_2d(x).shape[0]
         return self.variance * np.eye(n)[None, :, :]
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         return np.array([self.variance * float(np.trace(inner))])
 
     @property
-    def theta(self):
+    def theta(self) -> np.ndarray:
         return np.array([self._log_variance])
 
     @theta.setter
-    def theta(self, value):
+    def theta(self, value: np.ndarray) -> None:
         value = np.asarray(value, dtype=float).ravel()
         if value.size != 1:
             raise ValueError("WhiteKernel has exactly one parameter")
         self._log_variance = float(value[0])
 
     @property
-    def bounds(self):
+    def bounds(self) -> list[tuple[float, float]]:
         return list(self._bounds)
 
     @property
-    def param_names(self):
+    def param_names(self) -> list[str]:
         return ["white.variance"]
 
 
@@ -296,11 +343,11 @@ class _Stationary(_ActiveDimsMixin, Kernel):
         self,
         input_dim: int,
         variance: float = 1.0,
-        lengthscales=1.0,
-        active_dims=None,
-        variance_bounds=None,
-        lengthscale_bounds=None,
-    ):
+        lengthscales: float | Sequence[float] | np.ndarray = 1.0,
+        active_dims: Sequence[int] | np.ndarray | None = None,
+        variance_bounds: Sequence[float] | None = None,
+        lengthscale_bounds: Sequence[float] | None = None,
+    ) -> None:
         self._init_active_dims(active_dims)
         if self.active_dims is not None and len(self.active_dims) != input_dim:
             raise ValueError(
@@ -310,13 +357,13 @@ class _Stationary(_ActiveDimsMixin, Kernel):
         if input_dim < 1:
             raise ValueError("input_dim must be >= 1")
         self.input_dim = int(input_dim)
-        lengthscales = np.asarray(lengthscales, dtype=float) * np.ones(input_dim)
-        if np.any(lengthscales <= 0) or variance <= 0:
+        scales = np.asarray(lengthscales, dtype=float) * np.ones(input_dim)
+        if np.any(scales <= 0) or variance <= 0:
             raise ValueError("variance and lengthscales must be positive")
         self._log_variance = float(np.log(variance))
-        self._log_lengthscales = np.log(lengthscales)
-        vb = tuple(variance_bounds) if variance_bounds else _LOG_VARIANCE_BOUNDS
-        lb = tuple(lengthscale_bounds) if lengthscale_bounds else _LOG_LENGTHSCALE_BOUNDS
+        self._log_lengthscales = np.log(scales)
+        vb = _bounds_pair(variance_bounds, _LOG_VARIANCE_BOUNDS)
+        lb = _bounds_pair(lengthscale_bounds, _LOG_LENGTHSCALE_BOUNDS)
         self._bounds = [vb] + [lb] * input_dim
 
     @property
@@ -327,7 +374,12 @@ class _Stationary(_ActiveDimsMixin, Kernel):
     def lengthscales(self) -> np.ndarray:
         return np.exp(self._log_lengthscales)
 
-    def _sq_diffs(self, x1, x2=None, workspace=None):
+    def _sq_diffs(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         """Pairwise per-dimension **squared** differences, unscaled.
 
         Returns an array of shape ``(n1, n2, d)`` containing
@@ -355,7 +407,7 @@ class _Stationary(_ActiveDimsMixin, Kernel):
         diffs = x1[:, None, :] - x2[None, :, :]
         return diffs * diffs
 
-    def _build_workspace(self, x, workspace):
+    def _build_workspace(self, x: np.ndarray, workspace: dict) -> None:
         workspace[self] = self._sq_diffs(x)
 
     @property
@@ -372,15 +424,15 @@ class _Stationary(_ActiveDimsMixin, Kernel):
             self._inv_sq_lengthscales
         )
 
-    def diag(self, x):
+    def diag(self, x: np.ndarray) -> np.ndarray:
         return np.full(_as_2d(x).shape[0], self.variance)
 
     @property
-    def theta(self):
+    def theta(self) -> np.ndarray:
         return np.concatenate(([self._log_variance], self._log_lengthscales))
 
     @theta.setter
-    def theta(self, value):
+    def theta(self, value: np.ndarray) -> None:
         value = np.asarray(value, dtype=float).ravel()
         if value.size != 1 + self.input_dim:
             raise ValueError(
@@ -390,11 +442,11 @@ class _Stationary(_ActiveDimsMixin, Kernel):
         self._log_lengthscales = value[1:].copy()
 
     @property
-    def bounds(self):
+    def bounds(self) -> list[tuple[float, float]]:
         return list(self._bounds)
 
     @property
-    def param_names(self):
+    def param_names(self) -> list[str]:
         names = [f"{self._prefix}.variance"]
         names += [f"{self._prefix}.lengthscale[{i}]" for i in range(self.input_dim)]
         return names
@@ -408,12 +460,19 @@ class RBF(_Stationary):
 
     _prefix = "rbf"
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         sq_diffs = self._sq_diffs(x1, x2, workspace)
         sq = sq_diffs @ self._inv_sq_lengthscales
         return self.variance * np.exp(-0.5 * sq)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         sq_per_dim = self._sq_diffs(x, None, workspace) * self._inv_sq_lengthscales
         k = self.variance * np.exp(-0.5 * np.sum(sq_per_dim, axis=2))
         grads = np.empty((self.n_params, k.shape[0], k.shape[1]))
@@ -421,7 +480,13 @@ class RBF(_Stationary):
         grads[1:] = k[None, :, :] * np.moveaxis(sq_per_dim, 2, 0)  # d/d log(l_i)
         return grads
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         sq_diffs = self._sq_diffs(x, None, workspace)
         if k is None:
             k = self.variance * np.exp(
@@ -439,12 +504,19 @@ class Matern32(_Stationary):
 
     _prefix = "matern32"
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         sq_diffs = self._sq_diffs(x1, x2, workspace)
         r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
         return self.variance * (1.0 + _SQRT3 * r) * np.exp(-_SQRT3 * r)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         sq_per_dim = self._sq_diffs(x, None, workspace) * self._inv_sq_lengthscales
         r = np.sqrt(np.sum(sq_per_dim, axis=2))
         expart = np.exp(-_SQRT3 * r)
@@ -455,7 +527,13 @@ class Matern32(_Stationary):
         grads[1:] = base[None, :, :] * np.moveaxis(sq_per_dim, 2, 0)
         return grads
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         sq_diffs = self._sq_diffs(x, None, workspace)
         r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
         poly = 1.0 + _SQRT3 * r
@@ -478,13 +556,20 @@ class Matern52(_Stationary):
 
     _prefix = "matern52"
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         sq_diffs = self._sq_diffs(x1, x2, workspace)
         r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
         poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
         return self.variance * poly * np.exp(-_SQRT5 * r)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         sq_per_dim = self._sq_diffs(x, None, workspace) * self._inv_sq_lengthscales
         r = np.sqrt(np.sum(sq_per_dim, axis=2))
         expart = np.exp(-_SQRT5 * r)
@@ -496,7 +581,13 @@ class Matern52(_Stationary):
         grads[1:] = base[None, :, :] * np.moveaxis(sq_per_dim, 2, 0)
         return grads
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         sq_diffs = self._sq_diffs(x, None, workspace)
         r = np.sqrt(sq_diffs @ self._inv_sq_lengthscales)
         poly = 1.0 + _SQRT5 * r + (5.0 / 3.0) * r * r
@@ -515,16 +606,16 @@ class Matern52(_Stationary):
 class _Combination(Kernel):
     """Base class for binary kernel compositions."""
 
-    def __init__(self, left: Kernel, right: Kernel):
+    def __init__(self, left: Kernel, right: Kernel) -> None:
         self.left = left
         self.right = right
 
     @property
-    def theta(self):
+    def theta(self) -> np.ndarray:
         return np.concatenate([self.left.theta, self.right.theta])
 
     @theta.setter
-    def theta(self, value):
+    def theta(self, value: np.ndarray) -> None:
         value = np.asarray(value, dtype=float).ravel()
         n_left = self.left.n_params
         if value.size != n_left + self.right.n_params:
@@ -533,29 +624,42 @@ class _Combination(Kernel):
         self.right.theta = value[n_left:]
 
     @property
-    def bounds(self):
+    def bounds(self) -> list[tuple[float, float]]:
         return self.left.bounds + self.right.bounds
 
     @property
-    def param_names(self):
+    def param_names(self) -> list[str]:
         return self.left.param_names + self.right.param_names
 
 
 class Sum(_Combination):
     """Pointwise sum of two kernels."""
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         return self.left(x1, x2, workspace) + self.right(x1, x2, workspace)
 
-    def diag(self, x):
+    def diag(self, x: np.ndarray) -> np.ndarray:
         return self.left.diag(x) + self.right.diag(x)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         return np.concatenate(
             [self.left.gradients(x, workspace), self.right.gradients(x, workspace)]
         )
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         return np.concatenate(
             [
                 self.left.gradient_traces(x, inner, workspace),
@@ -563,7 +667,7 @@ class Sum(_Combination):
             ]
         )
 
-    def _build_workspace(self, x, workspace):
+    def _build_workspace(self, x: np.ndarray, workspace: dict) -> None:
         self.left._build_workspace(x, workspace)
         self.right._build_workspace(x, workspace)
 
@@ -571,20 +675,33 @@ class Sum(_Combination):
 class Product(_Combination):
     """Pointwise product of two kernels."""
 
-    def __call__(self, x1, x2=None, workspace=None):
+    def __call__(
+        self,
+        x1: np.ndarray,
+        x2: np.ndarray | None = None,
+        workspace: dict | None = None,
+    ) -> np.ndarray:
         return self.left(x1, x2, workspace) * self.right(x1, x2, workspace)
 
-    def diag(self, x):
+    def diag(self, x: np.ndarray) -> np.ndarray:
         return self.left.diag(x) * self.right.diag(x)
 
-    def gradients(self, x, workspace=None):
+    def gradients(
+        self, x: np.ndarray, workspace: dict | None = None
+    ) -> np.ndarray:
         k_left = self.left(x, workspace=workspace)
         k_right = self.right(x, workspace=workspace)
         grads_left = self.left.gradients(x, workspace) * k_right[None, :, :]
         grads_right = self.right.gradients(x, workspace) * k_left[None, :, :]
         return np.concatenate([grads_left, grads_right])
 
-    def gradient_traces(self, x, inner, workspace=None, k=None):
+    def gradient_traces(
+        self,
+        x: np.ndarray,
+        inner: np.ndarray,
+        workspace: dict | None = None,
+        k: np.ndarray | None = None,
+    ) -> np.ndarray:
         # tr(inner (dK_l o K_r)) = tr((inner o K_r) dK_l) and vice versa.
         k_left = self.left(x, workspace=workspace)
         k_right = self.right(x, workspace=workspace)
@@ -595,7 +712,7 @@ class Product(_Combination):
             ]
         )
 
-    def _build_workspace(self, x, workspace):
+    def _build_workspace(self, x: np.ndarray, workspace: dict) -> None:
         self.left._build_workspace(x, workspace)
         self.right._build_workspace(x, workspace)
 

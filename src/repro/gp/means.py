@@ -30,7 +30,7 @@ class ZeroMean(MeanFunction):
 class ConstantMean(MeanFunction):
     """A fixed constant mean ``m(x) = c``."""
 
-    def __init__(self, constant: float = 0.0):
+    def __init__(self, constant: float = 0.0) -> None:
         self.constant = float(constant)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:

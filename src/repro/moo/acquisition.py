@@ -64,7 +64,9 @@ Predictor = Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
 _MIN_STD = 1e-12
 
 
-def _psi(a, b, mu, sigma):
+def _psi(
+    a: np.ndarray, b: np.ndarray, mu: np.ndarray, sigma: np.ndarray
+) -> np.ndarray:
     """Partial expected improvement ``E[(a - y) 1{y < b}]``."""
     lam = (b - mu) / sigma
     return sigma * norm.pdf(lam) + (a - mu) * norm.cdf(lam)
@@ -150,7 +152,7 @@ class ExpectedHypervolumeImprovement:
         ref_point: np.ndarray,
         constraint_predictors: Sequence[Predictor] = (),
         z: np.ndarray | None = None,
-    ):
+    ) -> None:
         if len(objective_predictors) < 2:
             raise ValueError("EHVI needs at least two objective predictors")
         self.objective_predictors = list(objective_predictors)
@@ -258,7 +260,7 @@ class ParEGOScalarizer:
         ideal: np.ndarray,
         nadir: np.ndarray,
         rho: float = 0.05,
-    ):
+    ) -> None:
         self.weights = np.asarray(weights, dtype=float).ravel()
         self.ideal = np.asarray(ideal, dtype=float).ravel()
         span = np.asarray(nadir, dtype=float).ravel() - self.ideal

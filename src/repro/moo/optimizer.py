@@ -49,6 +49,7 @@ from ..session.protocol import Suggestion
 from .acquisition import (
     ExpectedHypervolumeImprovement,
     ParEGOScalarizer,
+    Predictor,
     draw_simplex_weights,
 )
 from .hypervolume import hypervolume, hypervolume_contributions
@@ -129,7 +130,7 @@ class MOMFBOptimizer(StrategyBase):
         seed: int | None = None,
         rng: np.random.Generator | None = None,
         callback: Callable[[int, History], None] | None = None,
-    ):
+    ) -> None:
         if not isinstance(problem, MultiObjectiveProblem):
             raise TypeError(
                 "MOMFBOptimizer needs a MultiObjectiveProblem; got "
@@ -353,11 +354,11 @@ class MOMFBOptimizer(StrategyBase):
     # acquisition assembly
     # ------------------------------------------------------------------
     @staticmethod
-    def _gp_predictor(model: GPR):
+    def _gp_predictor(model: GPR) -> Predictor:
         return lambda x: model.predict(x)
 
     @staticmethod
-    def _fused_predictor(model, z: np.ndarray):
+    def _fused_predictor(model: NARGP | AR1, z: np.ndarray) -> Predictor:
         return lambda x: model.predict(x, z=z)
 
     def _build_ehvi(
@@ -366,7 +367,7 @@ class MOMFBOptimizer(StrategyBase):
         front: np.ndarray,
         any_feasible: bool,
         z_ehvi: np.ndarray | None,
-    ):
+    ) -> ExpectedHypervolumeImprovement | ViolationAcquisition:
         """EHVI over the feasible front, or eq. 13 while none exists."""
         m = self.problem.n_objectives
         objective_predictors = predictors[:m]
@@ -383,7 +384,7 @@ class MOMFBOptimizer(StrategyBase):
 
     def _build_wei(
         self, predictors: list, tau: float | None, any_feasible: bool
-    ):
+    ) -> WeightedEI | ViolationAcquisition:
         objective_predictor = predictors[0]
         constraint_predictors = predictors[1:]
         if any_feasible or not constraint_predictors:
@@ -459,7 +460,9 @@ class MOMFBOptimizer(StrategyBase):
         z_fused: np.ndarray,
         avoid: list[np.ndarray],
     ) -> np.ndarray:
-        def best_scalarized(fidelity):
+        def best_scalarized(
+            fidelity: str,
+        ) -> tuple[float | None, np.ndarray | None]:
             records = [
                 r
                 for r in self.history.records_at(fidelity)

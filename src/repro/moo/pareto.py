@@ -137,7 +137,7 @@ class ParetoArchive:
     history on checkpoint resume instead of serializing it.
     """
 
-    def __init__(self, n_objectives: int):
+    def __init__(self, n_objectives: int) -> None:
         if n_objectives < 2:
             raise ValueError("need at least two objectives")
         self.n_objectives = int(n_objectives)

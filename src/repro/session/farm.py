@@ -300,6 +300,7 @@ class AsyncEvaluator(Evaluator):
         )
         try:
             future = self._get_pool().submit(_run_one, payload)
+        # reprolint: allow[REPRO-XF002] this handler IS the recovery path: it respawns the pool and resubmits
         except BrokenProcessPool:
             # The pool died since the last pump (a worker was killed
             # while idle, or its death hadn't surfaced yet): recycle the
