@@ -1,0 +1,125 @@
+"""service_perf — the posterior cache's reason to exist, measured.
+
+The session server answers ``predict`` queries from an LRU cache of
+fitted GP/NARGP posteriors keyed on history content hashes
+(:mod:`repro.service.cache`). This benchmark times the two paths the
+server takes for the same query — a cold fit-and-cache miss and a warm
+hit — on a multi-fidelity history big enough that hyperparameter
+optimization dominates, and asserts the cache is worth ≥2x. A third
+target times the full fingerprint-plus-lookup round trip the server
+performs per ``predict`` op.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.history import History
+from repro.registry import get_problem
+from repro.service.cache import (
+    PosteriorCache,
+    SurrogatePosterior,
+    history_fingerprint,
+)
+
+N_LOW, N_HIGH = 24, 8
+
+
+def _history(problem, n_low=N_LOW, n_high=N_HIGH, seed=0):
+    rng = np.random.default_rng(seed)
+    history = History()
+    low, high = problem.lowest_fidelity, problem.highest_fidelity
+    for fidelity, n in ((low, n_low), (high, n_high)):
+        for x in rng.random((n, problem.dim)):
+            history.add(x, problem.evaluate_unit(x, fidelity))
+    return history
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    problem = get_problem("forrester")
+    history = _history(problem)
+    key = history_fingerprint(problem.name, history)
+    return problem, history, key
+
+
+@pytest.mark.benchmark(group="service_perf")
+def test_posterior_cold_fit(once, fitted):
+    problem, history, _ = fitted
+    posterior = once(lambda: SurrogatePosterior(problem, history))
+    assert posterior.fused
+
+
+@pytest.mark.benchmark(group="service_perf")
+def test_posterior_cache_hit(once, fitted):
+    problem, history, key = fitted
+    cache = PosteriorCache(maxsize=4)
+    cache.put(key, SurrogatePosterior(problem, history))
+    grid = np.linspace(0.0, 1.0, 64)[:, None]
+
+    def served_predict():
+        fingerprint = history_fingerprint(problem.name, history)
+        posterior, hit = cache.get_or_fit(
+            fingerprint,
+            lambda: SurrogatePosterior(problem, history),
+        )
+        assert hit
+        return posterior.predict(grid)
+
+    mean, std = once(served_predict)
+    assert mean.shape == (64, 1) and np.all(std >= 0.0)
+
+
+def test_cache_hit_is_at_least_2x_faster(fitted):
+    """The acceptance bar: serving from cache beats refitting ≥2x."""
+    problem, history, key = fitted
+    grid = np.linspace(0.0, 1.0, 64)[:, None]
+    SurrogatePosterior(problem, history)  # warmup: BLAS pools, caches
+
+    def best_of(fn, n=3):
+        best = float("inf")
+        for _ in range(n):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    cold = best_of(
+        lambda: SurrogatePosterior(problem, history).predict(grid)
+    )
+
+    cache = PosteriorCache(maxsize=4)
+    cache.put(key, SurrogatePosterior(problem, history))
+
+    def warm_predict():
+        fingerprint = history_fingerprint(problem.name, history)
+        posterior, hit = cache.get_or_fit(
+            fingerprint,
+            lambda: SurrogatePosterior(problem, history),
+        )
+        assert hit
+        posterior.predict(grid)
+
+    warm = best_of(warm_predict)
+    assert warm * 2.0 <= cold, (
+        f"cache hit ({warm * 1e3:.2f}ms) is only "
+        f"{cold / warm:.1f}x faster than a cold fit ({cold * 1e3:.2f}ms); "
+        "the ≥2x bar means caching must dominate fingerprint+lookup cost"
+    )
+
+
+def test_cache_hit_predictions_identical(fitted):
+    """A cached posterior answers exactly like the one just fitted."""
+    problem, history, key = fitted
+    grid = np.linspace(0.0, 1.0, 16)[:, None]
+    posterior = SurrogatePosterior(problem, history)
+    cache = PosteriorCache(maxsize=2)
+    cache.put(key, posterior)
+    again, hit = cache.get_or_fit(
+        key, lambda: SurrogatePosterior(problem, history)
+    )
+    assert hit
+    np.testing.assert_array_equal(
+        posterior.predict(grid)[0], again.predict(grid)[0]
+    )

@@ -1,0 +1,85 @@
+"""Front-door helpers: ``repro.open_session`` and ``repro.connect``.
+
+These are the two documented entry points for *running* optimizations —
+everything else in the package is substrate. ``open_session`` builds an
+in-process (optionally vault-persisted) ask/tell session from registry
+names; ``connect`` reaches a session server over TCP.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .registry import get_problem, get_strategy
+from .service.client import connect
+from .session.session import OptimizationSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .problems.base import Problem
+    from .service.vault import RunVault, VaultSession
+    from .session.evaluators import Evaluator
+    from .session.protocol import Strategy
+
+__all__ = ["open_session", "connect"]
+
+
+def open_session(
+    problem: "Problem | str",
+    strategy: "Strategy | str" = "mfbo",
+    *,
+    vault: "RunVault | str | Path | None" = None,
+    evaluator: "Evaluator | None" = None,
+    checkpoint_path: "str | Path | None" = None,
+    checkpoint_every: "int | None" = None,
+    **config,
+) -> "OptimizationSession | VaultSession":
+    """Build an ask/tell optimization session from names or instances.
+
+    Parameters
+    ----------
+    problem:
+        A registry name (``repro.list_problems()``) or a ready
+        :class:`repro.Problem` instance.
+    strategy:
+        A registry name (``repro.list_strategies()``) or a ready
+        strategy instance; ``**config`` is forwarded to the strategy
+        constructor when a name is given.
+    vault:
+        When set (path or :class:`repro.service.RunVault`), the run is
+        persisted in the vault — crash-safe, queryable, resumable via
+        :meth:`RunVault.resume` — and a
+        :class:`repro.service.VaultSession` is returned. Without it a
+        plain in-process :class:`repro.session.OptimizationSession` is
+        returned, optionally checkpointing to ``checkpoint_path``.
+
+    >>> with repro.open_session("forrester", "mfbo", budget=20.0) as s:
+    ...     result = s.run()                            # doctest: +SKIP
+    """
+    if vault is not None:
+        from .service.vault import RunVault
+
+        if not isinstance(vault, RunVault):
+            vault = RunVault(vault)
+        return vault.open_session(
+            problem,
+            strategy,
+            evaluator=evaluator,
+            checkpoint_every=checkpoint_every or 1,
+            **config,
+        )
+    if isinstance(problem, str):
+        problem = get_problem(problem)
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)(problem, **config)
+    elif config:
+        raise TypeError(
+            "strategy configuration kwargs require a strategy *name*; got "
+            f"a ready instance plus {sorted(config)}"
+        )
+    return OptimizationSession(
+        strategy,
+        evaluator=evaluator,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )

@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..deprecation import keyword_only_config
 from ..core.history import History, Record
 from ..core.strategy import StrategyBase
 from ..design.sampling import maximin_latin_hypercube
@@ -47,6 +48,7 @@ class DEOptimizer(StrategyBase):
     strategy_id = "de"
     rng_stream_names = ("init", "de")
 
+    @keyword_only_config
     def __init__(
         self,
         problem: Problem,

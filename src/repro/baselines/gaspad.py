@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..deprecation import keyword_only_config
 from ..acquisition.functions import lower_confidence_bound
 from ..core.history import History
 from ..core.strategy import StrategyBase
@@ -59,6 +60,7 @@ class GASPAD(StrategyBase):
     strategy_id = "gaspad"
     rng_stream_names = ("init", "gp", "de")
 
+    @keyword_only_config
     def __init__(
         self,
         problem: Problem,

@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..deprecation import keyword_only_config
 from ..core.history import History
 from ..core.strategy import StrategyBase
 from ..design.sampling import maximin_latin_hypercube, uniform
@@ -40,6 +41,7 @@ class RandomSearchOptimizer(StrategyBase):
     strategy_id = "random_search"
     rng_stream_names = ("init", "sample")
 
+    @keyword_only_config
     def __init__(
         self,
         problem: Problem,

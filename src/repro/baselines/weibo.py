@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..deprecation import keyword_only_config
 from ..acquisition.functions import ViolationAcquisition, WeightedEI
 from ..core.history import History
 from ..core.strategy import StrategyBase
@@ -51,6 +52,7 @@ class WEIBO(StrategyBase):
     strategy_id = "weibo"
     rng_stream_names = ("init", "gp", "acq", "dedup")
 
+    @keyword_only_config
     def __init__(
         self,
         problem: Problem,

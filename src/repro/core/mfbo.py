@@ -38,6 +38,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..deprecation import keyword_only_config
 from ..acquisition.functions import ViolationAcquisition, WeightedEI
 from ..design.sampling import maximin_latin_hypercube
 from ..gp.gpr import GPR
@@ -138,6 +139,7 @@ class MFBOptimizer(StrategyBase):
     strategy_id = "mfbo"
     rng_stream_names = ("init", "gp", "mc", "acq", "dedup")
 
+    @keyword_only_config
     def __init__(
         self,
         problem: Problem,

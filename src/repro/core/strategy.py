@@ -24,6 +24,7 @@ need:
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
@@ -185,14 +186,16 @@ class StrategyBase:
         """Convert a non-finite evaluation into a failed one."""
         if evaluation.failed:
             return evaluation
-        values = np.concatenate(
-            (
-                [evaluation.objective],
-                evaluation.constraints,
-                getattr(evaluation, "objectives", ()),
-            )
-        )
-        if np.all(np.isfinite(values)):
+        # Checked piecewise (no concatenation) — this runs once per
+        # observation and the allocation showed up in the session-layer
+        # overhead profile.
+        finite = math.isfinite(evaluation.objective)
+        if finite and evaluation.constraints.size:
+            finite = bool(np.isfinite(evaluation.constraints).all())
+        objectives = getattr(evaluation, "objectives", None)
+        if finite and objectives is not None and len(objectives):
+            finite = bool(np.isfinite(objectives).all())
+        if finite:
             return evaluation
         x = self.problem.space.from_unit(np.clip(x_unit, 0.0, 1.0))
         return self.problem.failure_evaluation(
@@ -241,6 +244,31 @@ class StrategyBase:
             ):
                 del self._pending[i]
                 return
+
+    def discard_queued(self, x_unit: np.ndarray, fidelity: str) -> bool:
+        """Drop the queued suggestion matching an externally replayed point.
+
+        The run-vault resume path re-observes evaluations that were
+        acknowledged after the last checkpoint. Those points sit in the
+        restored queue (checkpointed in-flight suggestions are re-queued
+        for dispatch), so without this retraction the session would
+        evaluate them a second time. Returns whether a match was found;
+        matching mirrors :meth:`_retract_pending`.
+        """
+        x_unit = np.asarray(x_unit, dtype=float).ravel()
+        for i, s in enumerate(self._queue):
+            if s.fidelity == fidelity and np.array_equal(s.x_unit, x_unit):
+                del self._queue[i]
+                return True
+        for i, s in enumerate(self._queue):
+            if (
+                s.fidelity == fidelity
+                and np.shape(s.x_unit) == x_unit.shape
+                and np.allclose(s.x_unit, x_unit, rtol=0.0, atol=1e-12)
+            ):
+                del self._queue[i]
+                return True
+        return False
 
     def _after_observe(self, record: Record) -> None:
         if self.callback is not None and self._iteration >= 1:

@@ -1,0 +1,72 @@
+"""Deprecation shims for the keyword-only constructor migration.
+
+Every optimizer constructor takes ``problem`` followed by a long block
+of configuration arguments (``budget=``, ``n_init*=``, ``seed=``,
+``rng=``, ...). Positional configuration was always fragile — inserting
+one parameter silently reinterprets every call site after it — so the
+public signatures are now keyword-only after ``problem``.
+
+:func:`keyword_only_config` performs the migration without breaking a
+single existing call: legacy positional arguments are mapped onto the
+declared parameter order and accepted with **exactly one**
+:class:`DeprecationWarning` per offending construction. The wrapper also
+rewrites ``__signature__`` so ``inspect``/help render the new
+keyword-only form.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Callable
+
+__all__ = ["keyword_only_config"]
+
+
+def keyword_only_config(init: Callable) -> Callable:
+    """Make an ``__init__``'s config parameters keyword-only, with a shim.
+
+    The decorated ``__init__`` must take ``(self, problem, *config)``.
+    ``problem`` stays positional; any further positional argument is
+    matched to the declared parameter order, forwarded as a keyword and
+    reported once per call via ``DeprecationWarning``.
+    """
+    signature = inspect.signature(init)
+    parameters = list(signature.parameters.values())
+    # parameters[0] is self, parameters[1] the problem; the rest is the
+    # configuration block being migrated to keyword-only.
+    config_names = [p.name for p in parameters[2:]]
+
+    @functools.wraps(init)
+    def wrapper(self, problem, *args, **kwargs):
+        if args:
+            if len(args) > len(config_names):
+                raise TypeError(
+                    f"{type(self).__name__}() takes at most "
+                    f"{len(config_names)} configuration arguments "
+                    f"({len(args)} given)"
+                )
+            positional = dict(zip(config_names, args))
+            duplicates = sorted(set(positional) & set(kwargs))
+            if duplicates:
+                raise TypeError(
+                    f"{type(self).__name__}() got multiple values for "
+                    f"{', '.join(duplicates)}"
+                )
+            warnings.warn(
+                f"passing configuration arguments to "
+                f"{type(self).__name__} positionally is deprecated and "
+                f"will become an error; use keyword arguments "
+                f"({', '.join(sorted(positional))})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kwargs.update(positional)
+        return init(self, problem, **kwargs)
+
+    wrapper.__signature__ = signature.replace(
+        parameters=parameters[:2]
+        + [p.replace(kind=inspect.Parameter.KEYWORD_ONLY) for p in parameters[2:]]
+    )
+    return wrapper

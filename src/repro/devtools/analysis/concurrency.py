@@ -16,6 +16,11 @@ the ones that made PR 6 hard to get right:
 * CONC003 — a discarded ``pool.submit(...)``/``executor.submit(...)``
   expression statement: the returned future is the only handle to the
   task's outcome; dropping it means nobody can observe the failure.
+* CONC004 — a socket read (``.recv(...)``, or ``.readline()``/
+  ``.read()`` on a socket-named receiver) in a module that never calls
+  ``.settimeout(...)``: a wedged peer then pins the reading thread
+  forever. The session server (``repro.service``) is the motivating
+  customer — every handler thread must be reclaimable.
 """
 
 from __future__ import annotations
@@ -30,10 +35,13 @@ RULES = {
     "REPRO-CONC001": "blocking future.result() without a timeout",
     "REPRO-CONC002": "broad except clause whose body only passes",
     "REPRO-CONC003": "future returned by submit() is discarded",
+    "REPRO-CONC004": "socket read in a module that never sets a timeout",
 }
 
 _FUTURE_HINTS = ("future", "fut")
 _POOL_HINTS = ("pool", "executor")
+_SOCKET_HINTS = ("sock", "conn", "rfile", "wfile", "request", "connection")
+_SOCKET_READS = ("recv", "recv_into", "recvfrom", "readline", "read")
 
 
 def _receiver_text(node: ast.expr) -> str:
@@ -43,9 +51,28 @@ def _receiver_text(node: ast.expr) -> str:
         return ""
 
 
+def _module_sets_timeouts(tree: ast.AST) -> bool:
+    """Does the module ever bound a socket wait?
+
+    ``.settimeout(...)`` on anything, ``socket.setdefaulttimeout(...)``
+    or a ``timeout=`` keyword to ``create_connection``/``makefile``-style
+    constructors all count: the rule is module-granular by design — one
+    timeout at connection setup covers every later read on that socket.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr in ("settimeout", "setdefaulttimeout"):
+            return True
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            return True
+    return False
+
+
 def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
     findings: list[Finding] = []
     path = module.display_path
+    timeouts_set = _module_sets_timeouts(module.tree)
 
     for node in ast.walk(module.tree):
         if isinstance(node, ast.Call):
@@ -76,6 +103,31 @@ def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
                             "wait() first",
                         )
                     )
+            if (
+                not timeouts_set
+                and isinstance(func, ast.Attribute)
+                and (
+                    func.attr.startswith("recv")
+                    and func.attr in _SOCKET_READS
+                    or (
+                        func.attr in ("readline", "read")
+                        and any(
+                            hint in _receiver_text(func.value)
+                            for hint in _SOCKET_HINTS
+                        )
+                    )
+                )
+            ):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "REPRO-CONC004",
+                        f"socket read .{func.attr}() in a module that never "
+                        "calls settimeout(); a wedged peer pins this thread "
+                        "forever",
+                    )
+                )
         elif isinstance(node, ast.ExceptHandler):
             broad = node.type is None or (
                 isinstance(node.type, ast.Name)

@@ -358,6 +358,21 @@ def _resolve_call(
     if isinstance(func, ast.Attribute):
         attr = func.attr
         value = func.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "super"
+            and info.class_name is not None
+        ):
+            # ``super().attr(...)``: resolve through the MRO *past* the
+            # enclosing class instead of name-based dynamic dispatch —
+            # the conservative fallback would wire every same-named
+            # method in the project into this call site.
+            for base in index.mro_names(info.class_name)[1:]:
+                resolved = resolve_method(index, base, attr)
+                if resolved is not None and resolved[0] in functions:
+                    return CallSite(call, (resolved[0],))
+            return CallSite(call, ())  # base lives outside the project
         if isinstance(value, ast.Name):
             receiver = value.id
             if receiver in ("self", "cls") and info.class_name is not None:

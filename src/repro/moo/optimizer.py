@@ -34,6 +34,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..deprecation import keyword_only_config
 from ..acquisition.functions import ViolationAcquisition, WeightedEI
 from ..core.fidelity import FidelitySelector
 from ..core.history import History, Record
@@ -108,6 +109,7 @@ class MOMFBOptimizer(StrategyBase):
     strategy_id = "momfbo"
     rng_stream_names = ("init", "gp", "mc", "acq", "dedup", "scalar")
 
+    @keyword_only_config
     def __init__(
         self,
         problem: MultiObjectiveProblem,

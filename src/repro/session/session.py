@@ -224,14 +224,18 @@ class OptimizationSession:
                 f"{len(suggestions)} suggestions; every suggestion must be "
                 "answered (in order) or population strategies stall"
             )
+        # Observations go through self.observe so subclasses (e.g. the
+        # run vault's persistent session) see every record exactly once,
+        # whichever driver produced it.
+        observe = self.observe
         records = [
-            self.strategy.observe(s.x_unit, s.fidelity, evaluation)
+            observe(s.x_unit, s.fidelity, evaluation)
             for s, evaluation in zip(suggestions, evaluations)
         ]
         self.n_steps += 1
         if (
-            self.checkpoint_path is not None
-            and self.checkpoint_every is not None
+            self.checkpoint_every is not None
+            and self.checkpoint_path is not None
             and self.n_steps % self.checkpoint_every == 0
         ):
             self.save(self.checkpoint_path)
@@ -287,16 +291,17 @@ class OptimizationSession:
             raise ValueError("over_suggest must be >= 0")
         target = batch_size + over_suggest
         n_results = 0
+        strategy, problem = self.strategy, self.problem
         while True:
-            if not self.strategy.is_done:
+            if not strategy.is_done:
                 want = target - evaluator.pending
                 if want > 0:
-                    for suggestion in self.strategy.suggest(want):
-                        evaluator.submit(self.problem, suggestion)
+                    for suggestion in strategy.suggest(want):
+                        evaluator.submit(problem, suggestion)
             if evaluator.pending == 0:
                 break
             result = evaluator.next_result()
-            self.strategy.observe(
+            self.observe(
                 result.suggestion.x_unit,
                 result.suggestion.fidelity,
                 result.evaluation,
@@ -304,8 +309,8 @@ class OptimizationSession:
             self.n_steps += 1
             n_results += 1
             if (
-                self.checkpoint_path is not None
-                and self.checkpoint_every is not None
+                self.checkpoint_every is not None
+                and self.checkpoint_path is not None
                 and self.n_steps % self.checkpoint_every == 0
             ):
                 self.save(self.checkpoint_path)

@@ -427,6 +427,57 @@ def test_conc003_kept_future_is_fine(tmp_path):
     assert findings_of(tmp_path, source) == []
 
 
+def test_conc004_timeoutless_socket_read(tmp_path):
+    source = """
+    def pump(sock):
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                return
+    """
+    assert findings_of(tmp_path, source) == [("REPRO-CONC004", 3)]
+
+
+def test_conc004_readline_on_socket_file(tmp_path):
+    source = """
+    def handle(rfile):
+        return rfile.readline()
+    """
+    assert findings_of(tmp_path, source) == [("REPRO-CONC004", 2)]
+
+
+def test_conc004_settimeout_anywhere_in_module_is_fine(tmp_path):
+    source = """
+    def setup(sock):
+        sock.settimeout(30.0)
+
+
+    def pump(sock):
+        return sock.recv(4096)
+    """
+    assert findings_of(tmp_path, source) == []
+
+
+def test_conc004_connection_timeout_kwarg_is_fine(tmp_path):
+    source = """
+    import socket
+
+
+    def dial(addr):
+        sock = socket.create_connection(addr, timeout=10.0)
+        return sock.recv(4096)
+    """
+    assert findings_of(tmp_path, source) == []
+
+
+def test_conc004_plain_file_read_is_out_of_scope(tmp_path):
+    source = """
+    def slurp(handle):
+        return handle.read()
+    """
+    assert findings_of(tmp_path, source) == []
+
+
 # ----------------------------------------------------------------------
 # CLI and the clean-tree guarantee
 # ----------------------------------------------------------------------

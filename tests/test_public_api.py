@@ -21,6 +21,89 @@ class TestTopLevelExports:
             assert name in repro.__all__
 
 
+class TestEntryPoints:
+    def test_documented_entry_points_exported(self):
+        for name in ("open_session", "connect", "get_problem",
+                     "get_strategy", "list_problems", "list_strategies",
+                     "RunVault", "SessionServer", "RemoteSession"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_open_session_from_names(self):
+        with repro.open_session(
+            "forrester", "random_search", budget=5, n_init=3, seed=0
+        ) as session:
+            result = session.run()
+        assert np.isfinite(result.best_objective)
+        assert len(session.history) == 5
+
+    def test_open_session_with_vault(self, tmp_path):
+        with repro.open_session(
+            "forrester", "random_search", vault=tmp_path,
+            budget=4, n_init=3, seed=0,
+        ) as session:
+            session.run()
+        info = repro.RunVault(tmp_path).info(session.run_id)
+        assert info.status == "done" and info.n_evaluations == 4
+
+    def test_open_session_accepts_instances(self):
+        problem = repro.get_problem("forrester")
+        strategy = repro.get_strategy("random_search")(
+            problem, budget=4, n_init=3
+        )
+        with repro.open_session(problem, strategy) as session:
+            assert session.strategy is strategy
+
+    def test_problem_registry(self):
+        names = repro.list_problems()
+        for expected in ("forrester", "power-amplifier", "charge-pump",
+                         "two-stage-opamp", "zdt1-mf"):
+            assert expected in names
+        # normalization + aliases resolve to the canonical problems
+        assert repro.get_problem("power_amplifier").name == "power-amplifier"
+        assert repro.get_problem("pa").name == "power-amplifier"
+        with pytest.raises(ValueError, match="unknown problem"):
+            repro.get_problem("no-such-problem")
+
+    def test_strategy_registry(self):
+        assert set(repro.list_strategies()) >= {
+            "mfbo", "weibo", "gaspad", "de", "random_search", "momfbo"
+        }
+        assert repro.get_strategy("mfbo") is repro.MFBOptimizer
+
+
+class TestLazyImport:
+    def test_import_repro_is_lazy(self):
+        """``import repro`` must not drag in the heavy substrate."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys, repro; "
+            "heavy = [m for m in ('repro.gp', 'repro.spice', 'repro.core')"
+            " if m in sys.modules]; "
+            "print(','.join(heavy) or 'none')"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert out == "none", f"eagerly imported: {out}"
+
+    def test_submodules_reachable_as_attributes(self):
+        assert repro.service.RunVault is repro.RunVault
+        assert repro.registry.get_problem is repro.get_problem
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    def test_dir_covers_exports_and_submodules(self):
+        names = dir(repro)
+        assert "MFBOptimizer" in names
+        assert "service" in names and "open_session" in names
+
+
 class TestSubpackageImports:
     def test_spice_package(self):
         from repro.spice import (

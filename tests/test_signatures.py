@@ -1,0 +1,106 @@
+"""Optimizer constructor signatures: keyword-only config + legacy shims.
+
+Every optimizer takes ``(problem, *, config...)`` — configuration is
+keyword-only. The old positional form still works through a
+:func:`repro.deprecation.keyword_only_config` shim that maps positional
+arguments onto the declared parameter order and warns exactly once per
+call, with an identical resulting trajectory.
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    DEOptimizer,
+    GASPAD,
+    MFBOptimizer,
+    MOMFBOptimizer,
+    RandomSearchOptimizer,
+    WEIBO,
+)
+from repro.problems import ForresterProblem
+
+ALL_OPTIMIZERS = [
+    MFBOptimizer,
+    WEIBO,
+    GASPAD,
+    DEOptimizer,
+    RandomSearchOptimizer,
+    MOMFBOptimizer,
+]
+
+
+def _drive(strategy, problem, n=4):
+    for _ in range(n):
+        for s in strategy.suggest(1):
+            strategy.observe(
+                s.x_unit, s.fidelity, problem.evaluate_unit(s.x_unit, s.fidelity)
+            )
+    return [
+        (tuple(float(v) for v in r.x_unit), r.objective)
+        for r in strategy.history.records
+    ]
+
+
+class TestKeywordOnlySignatures:
+    @pytest.mark.parametrize("cls", ALL_OPTIMIZERS)
+    def test_config_parameters_are_keyword_only(self, cls):
+        params = list(inspect.signature(cls).parameters.values())
+        assert params[0].name == "problem"
+        for param in params[1:]:
+            assert param.kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"{cls.__name__}.{param.name} should be keyword-only"
+            )
+
+    @pytest.mark.parametrize("cls", ALL_OPTIMIZERS)
+    def test_shared_config_names(self, cls):
+        """The knobs every optimizer exposes use the same names."""
+        names = set(inspect.signature(cls).parameters)
+        assert {"budget", "rng", "seed"} <= names
+
+    def test_kwargs_construction_warns_never(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            RandomSearchOptimizer(
+                ForresterProblem(), budget=5, n_init=3, seed=0
+            )
+
+    def test_positional_construction_warns_exactly_once(self):
+        with pytest.warns(DeprecationWarning, match="positionally") as caught:
+            RandomSearchOptimizer(ForresterProblem(), 5, 3, 0)
+        assert (
+            len([w for w in caught if w.category is DeprecationWarning]) == 1
+        )
+
+    def test_positional_maps_onto_declared_order(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = WEIBO(ForresterProblem(), 20, 5)
+        assert legacy.budget == 20 and legacy.n_init == 5
+
+    def test_positional_and_keyword_trajectories_identical(self):
+        problem = ForresterProblem()
+        with pytest.warns(DeprecationWarning):
+            legacy = RandomSearchOptimizer(problem, 8, 3, 42)
+        modern = RandomSearchOptimizer(problem, budget=8, n_init=3, seed=42)
+        assert _drive(legacy, problem) == _drive(modern, problem)
+
+    def test_too_many_positionals_rejected(self):
+        sig = inspect.signature(RandomSearchOptimizer)
+        n_config = len(sig.parameters) - 1
+        with pytest.raises(TypeError, match="configuration arguments"):
+            RandomSearchOptimizer(
+                ForresterProblem(), *range(3, 3 + n_config + 1)
+            )
+
+    def test_positional_duplicate_of_keyword_rejected(self):
+        with pytest.raises(TypeError, match="budget"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                RandomSearchOptimizer(ForresterProblem(), 8, budget=9)
+
+    @pytest.mark.parametrize("cls", ALL_OPTIMIZERS)
+    def test_docstring_and_name_survive_decoration(self, cls):
+        assert cls.__init__.__name__ == "__init__"
