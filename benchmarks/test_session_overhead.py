@@ -146,6 +146,34 @@ def test_session_overhead_gap_within_5_percent():
     )
 
 
+def test_disabled_span_is_nearly_free():
+    """The tracing no-op path must stay off the overhead budget.
+
+    Instrumentation sits inline on suggest/observe/fit hot paths, so a
+    disabled ``span()`` call has to cost no more than a global check
+    plus a shared context manager — bounded here at 2µs per call
+    (generous: a fresh CPython on this class of box does ~0.3µs),
+    i.e. ≤2% of even a 100µs operation.
+    """
+    from repro.obs import disable, is_enabled, span
+
+    disable()
+    assert not is_enabled()
+
+    n_calls = 50_000
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(n_calls):
+            with span("noop.probe", k=1):
+                pass
+        best = min(best, time.perf_counter() - start)
+    per_call = best / n_calls
+    assert per_call < 2e-6, (
+        f"disabled span costs {per_call * 1e6:.2f}µs/call (bound: 2µs)"
+    )
+
+
 def test_no_serialization_in_hot_path(monkeypatch):
     """Without a checkpoint path, ``run()`` never serializes state.
 

@@ -123,6 +123,7 @@ _SUBMODULES = frozenset(
         "gp",
         "mf",
         "moo",
+        "obs",
         "optim",
         "problems",
         "registry",

@@ -34,6 +34,7 @@ evaluator can simulate the whole batch at once.
 from __future__ import annotations
 
 import copy
+import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -362,8 +363,13 @@ class MFBOptimizer(StrategyBase):
     def _propose(
         self, low_models: list[GPR], fused_models: list, z: np.ndarray,
         avoid: list[np.ndarray],
-    ) -> np.ndarray:
-        """One acquisition round: MSP low search, then the fused search."""
+    ) -> tuple[np.ndarray, float]:
+        """One acquisition round: MSP low search, then the fused search.
+
+        Returns the deduplicated candidate and the fused acquisition
+        value at the (pre-dedup) optimum — the latter feeds telemetry
+        only, never the trajectory.
+        """
         best_low = self.history.incumbent(FIDELITY_LOW)
         best_high = self.history.incumbent(FIDELITY_HIGH)
         feasible_low = self.history.best_feasible(FIDELITY_LOW)
@@ -397,7 +403,7 @@ class MFBOptimizer(StrategyBase):
             incumbent_high=None if best_high is None else best_high.x_unit,
             extra_starts=low_result.x,
         )
-        return self._dedup(high_result.x, avoid=avoid)
+        return self._dedup(high_result.x, avoid=avoid), float(high_result.value)
 
     def _refill(self, k: int) -> None:
         """One Algorithm-1 iteration producing up to ``k`` candidates.
@@ -418,9 +424,14 @@ class MFBOptimizer(StrategyBase):
         trajectory is bit-identical to the serial path.
         """
         self._iteration += 1
+        fit_start = time.perf_counter()
         low_models, fused_models = self._fit_models(self._iteration)
+        fit_elapsed = time.perf_counter() - fit_start
         z = self._rng_streams["mc"].standard_normal(self.n_mc_samples)
 
+        propose_start = time.perf_counter()
+        chosen: list[str] = []
+        first_acq: float | None = None
         cur_low, cur_fused = low_models, fused_models
         fantasy = None  # lazily created copies + growing data arrays
         projected = self.history.total_cost + self.pending_cost
@@ -435,7 +446,9 @@ class MFBOptimizer(StrategyBase):
                 )
                 avoid.append(x_pending)
         for j in range(k):
-            x_next = self._propose(cur_low, cur_fused, z, avoid)
+            x_next, acq_value = self._propose(cur_low, cur_fused, z, avoid)
+            if first_acq is None:
+                first_acq = acq_value
 
             # --- step 3: fidelity selection (l.7, eq. 11/12)
             fidelity = self.selector.select(x_next, cur_low)
@@ -453,6 +466,7 @@ class MFBOptimizer(StrategyBase):
                     self._stopped = True
                     break
             self._queue.append(Suggestion(x_next, fidelity))
+            chosen.append(fidelity)
             avoid.append(x_next)
             projected += self.problem.cost(fidelity)
             if j < k - 1:
@@ -462,6 +476,15 @@ class MFBOptimizer(StrategyBase):
                     )
                     fantasy = self._fantasy_data()
                 self._fantasize(cur_low, cur_fused, fantasy, x_next, fidelity)
+        self._emit_telemetry(
+            "iteration",
+            fit_s=fit_elapsed,
+            propose_s=time.perf_counter() - propose_start,
+            fidelity=chosen[0] if chosen else None,
+            n_suggested=len(chosen),
+            acq=first_acq,
+            budget_spent=float(projected),
+        )
 
     def _fantasy_data(self) -> dict:
         """Mutable copies of the per-fidelity training arrays."""

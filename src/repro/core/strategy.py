@@ -25,10 +25,13 @@ need:
 from __future__ import annotations
 
 import math
+import time
+from collections import deque
 from typing import Callable
 
 import numpy as np
 
+from ..obs import span
 from ..problems.base import Evaluation, Problem
 from ..session.protocol import Suggestion
 from ..session.serialization import (
@@ -122,6 +125,11 @@ class StrategyBase:
         self._pending: list[Suggestion] = []
         self._init_drawn = False
         self._stopped = False
+        # Per-iteration telemetry (fidelity, acquisition value, stage
+        # durations). Bounded so an undrained buffer — no vault attached
+        # — can never grow with the run length.
+        self._telemetry: deque[dict] = deque(maxlen=256)
+        self._observe_elapsed = 0.0
 
     # ------------------------------------------------------------------
     # ask/tell
@@ -136,14 +144,17 @@ class StrategyBase:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        if not self._init_drawn:
-            self._queue.extend(self._initial_suggestions())
-            self._init_drawn = True
-        if not self._queue and not self.is_done:
-            self._refill(k)
-        batch = self._queue[:k]
-        del self._queue[:k]
-        self._pending.extend(batch)
+        with span("strategy.suggest", k=k):
+            if not self._init_drawn:
+                self._queue.extend(self._initial_suggestions())
+                self._init_drawn = True
+            if not self._queue and not self.is_done:
+                start = time.perf_counter()
+                self._refill(k)
+                self._note_suggest_time(time.perf_counter() - start)
+            batch = self._queue[:k]
+            del self._queue[:k]
+            self._pending.extend(batch)
         return batch
 
     def observe(
@@ -169,15 +180,18 @@ class StrategyBase:
                 f"evaluation was run at fidelity {evaluation.fidelity!r} "
                 f"but observed as {fidelity!r}"
             )
-        x_unit = np.asarray(x_unit, dtype=float).ravel()
-        evaluation = self._validate_finite(x_unit, evaluation)
-        self._retract_pending(x_unit, fidelity)
-        record = self.history.add(
-            x_unit,
-            evaluation,
-            iteration=self._iteration,
-        )
-        self._after_observe(record)
+        start = time.perf_counter()
+        with span("strategy.observe", fidelity=fidelity):
+            x_unit = np.asarray(x_unit, dtype=float).ravel()
+            evaluation = self._validate_finite(x_unit, evaluation)
+            self._retract_pending(x_unit, fidelity)
+            record = self.history.add(
+                x_unit,
+                evaluation,
+                iteration=self._iteration,
+            )
+            self._after_observe(record)
+        self._observe_elapsed += time.perf_counter() - start
         return record
 
     def _validate_finite(
@@ -273,6 +287,38 @@ class StrategyBase:
     def _after_observe(self, record: Record) -> None:
         if self.callback is not None and self._iteration >= 1:
             self.callback(self._iteration, self.history)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _emit_telemetry(self, event: str, **fields: object) -> None:
+        """Buffer one telemetry event (drained by the vault layer).
+
+        Strategies call this from ``_refill`` with per-iteration facts —
+        fidelity chosen, acquisition value, stage durations, budget
+        spent. The buffer is bounded and purely advisory: nothing in the
+        optimization trajectory reads it back.
+        """
+        self._telemetry.append(
+            {"event": event, "iteration": int(self._iteration), **fields}
+        )
+
+    def _note_suggest_time(self, elapsed: float) -> None:
+        """Attach suggest/observe wall time to the iteration just emitted."""
+        if not self._telemetry:
+            return
+        event = self._telemetry[-1]
+        if event.get("event") == "iteration" and "suggest_s" not in event:
+            event["suggest_s"] = elapsed
+            if self._observe_elapsed:
+                event["observe_s"] = self._observe_elapsed
+                self._observe_elapsed = 0.0
+
+    def take_telemetry(self) -> list[dict]:
+        """Drain and return buffered telemetry events (oldest first)."""
+        events = list(self._telemetry)
+        self._telemetry.clear()
+        return events
 
     @property
     def is_done(self) -> bool:

@@ -8,6 +8,7 @@ Rule families (IDs are stable; the full catalog is in the README's
 * ``REPRO-STAMP00x`` — MNA stamp conformance (:mod:`.stamps`)
 * ``REPRO-FAIL00x`` — failure-path finiteness (:mod:`.failures`)
 * ``REPRO-CONC00x`` — executor hygiene (:mod:`.concurrency`)
+* ``REPRO-OBS00x`` — timing discipline (:mod:`.obs`)
 * ``REPRO-XF00x`` — interprocedural exception flow
   (:mod:`repro.devtools.dataflow.xflow`)
 * ``REPRO-TAINT00x`` — nondeterminism taint into checkpoints
@@ -22,7 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
-from . import concurrency, failures, rng, serialization, stamps
+from . import concurrency, failures, obs, rng, serialization, stamps
 from .engine import (
     Finding,
     ModuleSource,
@@ -44,7 +45,7 @@ __all__ = [
     "update_schema_manifest",
 ]
 
-_CHECKER_MODULES = (rng, serialization, stamps, failures, concurrency)
+_CHECKER_MODULES = (rng, serialization, stamps, failures, concurrency, obs)
 
 #: rule ID -> one-line summary, across every checker.
 ALL_RULES: dict[str, str] = {}
@@ -84,6 +85,7 @@ def run_lint(
         (stamps.RULES, stamps.check),
         (failures.RULES, failures.check),
         (concurrency.RULES, concurrency.check),
+        (obs.RULES, obs.check),
     ]
     return _run_lint(
         paths,

@@ -1,0 +1,145 @@
+"""Timing-discipline rules (REPRO-OBS001).
+
+``time.time()`` is wall-clock: NTP slews it, DST and manual clock sets
+jump it, and on some platforms it ticks coarsely. A duration computed by
+subtracting two wall-clock reads can come out negative or wildly wrong —
+and such a value feeding a latency histogram or a span record poisons
+every percentile downstream. The observability layer therefore measures
+every duration with ``time.perf_counter()``; this rule keeps it that
+way:
+
+* OBS001 — a wall-clock read (``time.time()`` / ``time.time_ns()``,
+  including ``from time import time`` aliases). The message sharpens
+  when the value demonstrably participates in a subtraction — directly
+  (``time.time() - start``) or through a local variable later used as a
+  subtraction operand.
+
+Genuine timestamps (event-log ``ts`` fields, run-creation stamps) are
+legitimate wall-clock uses: suppress them inline with
+``# reprolint: allow[REPRO-OBS001]`` plus a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, ModuleSource, ProjectIndex
+
+__all__ = ["RULES", "check"]
+
+RULES = {
+    "REPRO-OBS001": (
+        "wall-clock time.time() read; durations must use "
+        "time.perf_counter() or time.monotonic()"
+    ),
+}
+
+#: ``time`` module attributes that read the wall clock.
+_WALLCLOCK_ATTRS = frozenset({"time", "time_ns"})
+
+
+def _wallclock_names(tree: ast.AST) -> tuple[frozenset[str], dict[str, str]]:
+    """(aliases of the ``time`` module, local name -> wall-clock func)."""
+    modules: set[str] = set()
+    funcs: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_ATTRS:
+                    funcs[alias.asname or alias.name] = alias.name
+    return frozenset(modules), funcs
+
+
+def _call_source(
+    node: ast.Call, modules: frozenset[str], funcs: dict[str, str]
+) -> str | None:
+    """Render ``time.time``/alias calls back to source-ish text, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in modules
+        and func.attr in _WALLCLOCK_ATTRS
+    ):
+        return f"{func.value.id}.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in funcs:
+        return func.id
+    return None
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes owned by ``scope``, not descending into nested functions."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def check(module: ModuleSource, index: ProjectIndex) -> list[Finding]:
+    modules, funcs = _wallclock_names(module.tree)
+    if not modules and not funcs:
+        return []
+
+    findings: list[Finding] = []
+    for scope in _scopes(module.tree):
+        calls: list[tuple[ast.Call, str]] = []
+        assigned_from: dict[int, set[str]] = {}  # id(call) -> target names
+        sub_operand_ids: set[int] = set()
+        sub_operand_names: set[str] = set()
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.Call):
+                source = _call_source(node, modules, funcs)
+                if source is not None:
+                    calls.append((node, source))
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                names = {
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                }
+                if names:
+                    assigned_from[id(node.value)] = names
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                for operand in (node.left, node.right):
+                    sub_operand_ids.add(id(operand))
+                    if isinstance(operand, ast.Name):
+                        sub_operand_names.add(operand.id)
+
+        for call, source in calls:
+            in_subtraction = id(call) in sub_operand_ids or bool(
+                assigned_from.get(id(call), set()) & sub_operand_names
+            )
+            if in_subtraction:
+                message = (
+                    f"wall-clock {source}() feeds a subtraction — measure "
+                    "durations with time.perf_counter() or time.monotonic()"
+                )
+            else:
+                message = (
+                    f"wall-clock {source}() read; use time.perf_counter()/"
+                    "time.monotonic() for intervals, or suppress if this is "
+                    "a genuine timestamp"
+                )
+            findings.append(
+                Finding(
+                    module.display_path, call.lineno, "REPRO-OBS001", message
+                )
+            )
+    return findings

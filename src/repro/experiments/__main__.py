@@ -135,15 +135,27 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true",
         help="use the paper-scale protocol (equivalent to REPRO_FULL=1)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write span traces to this JSONL file while the artifact "
+             "runs (render with `python -m repro.obs summarize PATH`)",
+    )
     args = parser.parse_args(argv)
     if args.full:
         import os
 
         os.environ["REPRO_FULL"] = "1"
     targets = ARTIFACTS if args.artifact == "all" else (args.artifact,)
-    for name in targets:
-        _RUNNERS[name](args.seed)
-        print()
+    from contextlib import nullcontext
+
+    from ..obs import span, tracing
+
+    scope = tracing(args.trace) if args.trace else nullcontext()
+    with scope:
+        for name in targets:
+            with span(f"experiment.{name}", seed=args.seed):
+                _RUNNERS[name](args.seed)
+            print()
     return 0
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
+from ..obs import span
 from ..rng import ensure_rng
 from .kernels import RBF, Kernel
 from .linalg import (
@@ -254,7 +255,11 @@ class GPR:
         """
         self._set_data(x, y)
         if optimize:
-            self._optimize_hyperparameters(n_restarts, rng)
+            # Only the hyperparameter search gets a span: constant-liar
+            # refits call fit(optimize=False) many times per batch and
+            # must stay unobserved even when tracing is on.
+            with span("gp.fit", n=int(x.shape[0]), restarts=int(n_restarts)):
+                self._optimize_hyperparameters(n_restarts, rng)
         self._update_posterior_cache()
         return self
 

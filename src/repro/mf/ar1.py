@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gp.gpr import GPR
+from ..obs import span
 from ..rng import ensure_rng
 
 __all__ = ["AR1"]
@@ -81,15 +82,16 @@ class AR1:
         rho_seed = self._ols_rho(mu_low, y_high)
         best_rho, best_nlml, best_model = rho_seed, np.inf, None
         half_width = max(1.0, abs(rho_seed))
-        for rho in np.linspace(
-            rho_seed - half_width, rho_seed + half_width, self.rho_grid_size
-        ):
-            residual = y_high - rho * mu_low
-            model = GPR(noise_variance=self.noise_variance)
-            model.fit(x_high, residual, n_restarts=1, rng=rng)
-            nlml = model.nlml()
-            if nlml < best_nlml:
-                best_rho, best_nlml, best_model = float(rho), nlml, model
+        with span("ar1.fit", n_high=int(x_high.shape[0])):
+            for rho in np.linspace(
+                rho_seed - half_width, rho_seed + half_width, self.rho_grid_size
+            ):
+                residual = y_high - rho * mu_low
+                model = GPR(noise_variance=self.noise_variance)
+                model.fit(x_high, residual, n_restarts=1, rng=rng)
+                nlml = model.nlml()
+                if nlml < best_nlml:
+                    best_rho, best_nlml, best_model = float(rho), nlml, model
         self.rho = best_rho
         self.delta_model = best_model
         return self

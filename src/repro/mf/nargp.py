@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gp.gpr import GPR
+from ..obs import span
 from ..rng import ensure_rng
 from ..gp.kernels import RBF, Product, Sum, nargp_kernel
 
@@ -128,7 +129,10 @@ class NARGP:
             noise_variance=self.noise_variance,
             max_opt_iter=self.max_opt_iter,
         )
-        self.high_model.fit(augmented, y_high, n_restarts=self.n_restarts, rng=rng)
+        with span("nargp.fit", n_high=int(x_high.shape[0])):
+            self.high_model.fit(
+                augmented, y_high, n_restarts=self.n_restarts, rng=rng
+            )
         return self
 
     def _require_fit(self) -> None:

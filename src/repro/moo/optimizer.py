@@ -30,6 +30,7 @@ instead of serializing it.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -404,7 +405,7 @@ class MOMFBOptimizer(StrategyBase):
         z_ehvi: np.ndarray | None,
         fantasy_front: list[np.ndarray],
         avoid: list[np.ndarray],
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, float]:
         x_low_front, f_low_front = self._fidelity_front(FIDELITY_LOW)
         x_high_front, f_high_front = (
             self._archive_x_front(),
@@ -446,7 +447,7 @@ class MOMFBOptimizer(StrategyBase):
             incumbent_high=incumbent_high,
             extra_starts=low_result.x,
         )
-        return self._dedup(high_result.x, avoid=avoid)
+        return self._dedup(high_result.x, avoid=avoid), float(high_result.value)
 
     def _archive_x_front(self) -> np.ndarray:
         entries = self.archive.front_entries()
@@ -461,7 +462,7 @@ class MOMFBOptimizer(StrategyBase):
         fused_models: list,
         z_fused: np.ndarray,
         avoid: list[np.ndarray],
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, float]:
         def best_scalarized(
             fidelity: str,
         ) -> tuple[float | None, np.ndarray | None]:
@@ -501,7 +502,7 @@ class MOMFBOptimizer(StrategyBase):
             incumbent_high=incumbent_high,
             extra_starts=low_result.x,
         )
-        return self._dedup(high_result.x, avoid=avoid)
+        return self._dedup(high_result.x, avoid=avoid), float(high_result.value)
 
     def _refill(self, k: int) -> None:
         """One BO iteration producing up to ``k`` batch candidates."""
@@ -512,6 +513,7 @@ class MOMFBOptimizer(StrategyBase):
         z_fused = self._rng_streams["mc"].standard_normal(self.n_mc_samples)
         z_ehvi = None
         scalarizer = None
+        fit_start = time.perf_counter()
         if self.acquisition == "ehvi":
             low_models, fused_models = self._fit_objective_models()
             if m > 2:
@@ -525,7 +527,11 @@ class MOMFBOptimizer(StrategyBase):
             low_models, fused_models = self._fit_scalarized_models(
                 scalarizer, constraint_pairs
             )
+        fit_elapsed = time.perf_counter() - fit_start
 
+        propose_start = time.perf_counter()
+        chosen: list[str] = []
+        first_acq: float | None = None
         projected = self.history.total_cost + self.pending_cost
         avoid: list[np.ndarray] = []
         fantasy_front: list[np.ndarray] = []
@@ -561,14 +567,16 @@ class MOMFBOptimizer(StrategyBase):
                     scalarizer, constraint_pairs
                 )
             if self.acquisition == "ehvi":
-                x_next = self._propose_ehvi(
+                x_next, acq_value = self._propose_ehvi(
                     low_models, fused_models, z_fused, z_ehvi,
                     fantasy_front, avoid,
                 )
             else:
-                x_next = self._propose_parego(
+                x_next, acq_value = self._propose_parego(
                     scalarizer, low_models, fused_models, z_fused, avoid
                 )
+            if first_acq is None:
+                first_acq = acq_value
 
             fidelity = self.selector.select(x_next, low_models)
             remaining = self.budget - projected
@@ -579,6 +587,7 @@ class MOMFBOptimizer(StrategyBase):
                     self._stopped = True
                     break
             self._queue.append(Suggestion(x_next, fidelity))
+            chosen.append(fidelity)
             avoid.append(x_next)
             projected += self.problem.cost(fidelity)
             if j < k - 1 and self.acquisition == "ehvi":
@@ -594,6 +603,15 @@ class MOMFBOptimizer(StrategyBase):
                         ]
                     )
                 )
+        self._emit_telemetry(
+            "iteration",
+            fit_s=fit_elapsed,
+            propose_s=time.perf_counter() - propose_start,
+            fidelity=chosen[0] if chosen else None,
+            n_suggested=len(chosen),
+            acq=first_acq,
+            budget_spent=float(projected),
+        )
 
     def _done(self) -> bool:
         return (

@@ -1,0 +1,59 @@
+"""repro.obs — zero-dependency telemetry for the reproduction stack.
+
+Two instruments, one renderer:
+
+* :mod:`repro.obs.trace` — contextvar-propagated span tracing with a
+  no-op fast path when disabled; spans flow across threads and into
+  evaluator-farm worker processes.
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms
+  with a JSON-ready ``snapshot()``.
+* ``python -m repro.obs`` — summarize a trace JSONL or a vault run as
+  a per-span latency table or an iteration timeline.
+
+Everything is stdlib-only and off by default; the disabled span path is
+bounded by the session-overhead benchmark.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import (
+    JsonlSink,
+    MemorySink,
+    SpanRecord,
+    activate_worker_tracing,
+    current_context,
+    disable,
+    enable,
+    is_enabled,
+    span,
+    traced,
+    tracing,
+    use_context,
+    worker_payload,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LATENCY_BUCKETS_S",
+    "MemorySink",
+    "MetricsRegistry",
+    "SpanRecord",
+    "activate_worker_tracing",
+    "current_context",
+    "disable",
+    "enable",
+    "is_enabled",
+    "span",
+    "traced",
+    "tracing",
+    "use_context",
+    "worker_payload",
+]

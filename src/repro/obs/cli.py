@@ -1,0 +1,314 @@
+"""``python -m repro.obs`` — render traces and vault runs for humans.
+
+Two subcommands over two input shapes:
+
+* ``summarize PATH`` — per-span latency table (count / mean / p50 /
+  p95 / total seconds), tree-indented so a child span prints under its
+  most common parent. ``PATH`` is either a trace JSONL written by
+  :class:`repro.obs.trace.JsonlSink` or a vault run directory, whose
+  telemetry events are turned into pseudo-spans (``iteration.fit``,
+  ``iteration.propose``, …).
+* ``timeline PATH`` — the same inputs as an ordered timeline: one line
+  per span/event with a ``+offset`` from the first wall-clock ``ts``.
+
+Exit status: 0 with at least one row, 1 when the input parses but holds
+no rows, 2 on usage or unreadable input. The parsers here are
+deliberately forgiving — a torn trailing line (crashed worker) is
+skipped, unknown fields are ignored — because this tool must open the
+artifacts of runs that went *wrong*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from typing import Any, Sequence
+
+__all__ = ["main", "load_spans", "summarize_rows", "render_table"]
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def _read_jsonl(path: str) -> "list[dict]":
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crashed writer
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _spans_from_vault_events(events: "list[dict]") -> "list[dict]":
+    """Pseudo-spans out of a vault run's telemetry + evaluation events.
+
+    Telemetry iteration events carry ``*_s`` duration fields
+    (``fit_s``, ``propose_s``); each becomes one span named
+    ``iteration.<stage>`` so the same table renderer applies.
+    """
+    spans = []
+    for event in events:
+        if event.get("type") != "telemetry":
+            continue
+        ts = event.get("ts")
+        for key, value in event.items():
+            if not key.endswith("_s") or not isinstance(value, (int, float)):
+                continue
+            spans.append(
+                {
+                    "name": f"iteration.{key[:-2]}",
+                    "span_id": None,
+                    "parent_id": None,
+                    "ts": ts,
+                    "duration_s": float(value),
+                    "attrs": {
+                        k: event[k]
+                        for k in ("iteration", "fidelity", "acq", "budget_spent")
+                        if k in event
+                    },
+                }
+            )
+    return spans
+
+
+def load_spans(path: str) -> "list[dict]":
+    """Span dicts from a trace JSONL file or a vault run directory."""
+    if os.path.isdir(path):
+        events_path = os.path.join(path, "events.jsonl")
+        if not os.path.exists(events_path):
+            raise FileNotFoundError(f"{path} has no events.jsonl (not a vault run?)")
+        return _spans_from_vault_events(_read_jsonl(events_path))
+    return [
+        record
+        for record in _read_jsonl(path)
+        if "name" in record and "duration_s" in record
+    ]
+
+
+def _load_events(path: str) -> "list[dict]":
+    """Raw timeline items: vault events, or spans projected onto events."""
+    if os.path.isdir(path):
+        events_path = os.path.join(path, "events.jsonl")
+        if not os.path.exists(events_path):
+            raise FileNotFoundError(f"{path} has no events.jsonl (not a vault run?)")
+        return _read_jsonl(events_path)
+    return load_spans(path)
+
+
+# ----------------------------------------------------------------------
+# summarize
+# ----------------------------------------------------------------------
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _name_tree(spans: "list[dict]") -> "dict[str, str | None]":
+    """Map each span name to its most common parent *name* (or None).
+
+    Spans form a tree by IDs; the table groups by name, so each name is
+    indented under whichever parent name it most frequently appears
+    beneath. Cycles (a name under itself via recursion) collapse to
+    root rather than recursing forever.
+    """
+    name_of: "dict[str, str]" = {}
+    for record in spans:
+        span_id = record.get("span_id")
+        if span_id:
+            name_of[span_id] = record["name"]
+    votes: "dict[str, TallyCounter]" = defaultdict(TallyCounter)
+    for record in spans:
+        parent_name = name_of.get(record.get("parent_id") or "")
+        votes[record["name"]][parent_name] += 1
+    parents: "dict[str, str | None]" = {}
+    for name, tally in votes.items():
+        parent = tally.most_common(1)[0][0]
+        parents[name] = parent if parent != name else None
+    return parents
+
+
+def _depth(name: str, parents: "dict[str, str | None]") -> int:
+    depth, seen = 0, {name}
+    parent = parents.get(name)
+    while parent is not None and parent not in seen:
+        depth += 1
+        seen.add(parent)
+        parent = parents.get(parent)
+    return depth
+
+
+def summarize_rows(spans: "list[dict]") -> "list[dict[str, Any]]":
+    """Aggregate spans into per-name table rows, tree-ordered."""
+    by_name: "dict[str, list[float]]" = defaultdict(list)
+    for record in spans:
+        by_name[record["name"]].append(float(record.get("duration_s", 0.0)))
+    parents = _name_tree(spans)
+
+    # Depth-first over the name tree so children print under parents.
+    children: "dict[str | None, list[str]]" = defaultdict(list)
+    for name in sorted(by_name):
+        children[parents.get(name)].append(name)
+    ordered: "list[str]" = []
+
+    def _walk(name: str) -> None:
+        ordered.append(name)
+        for child in children.get(name, ()):
+            _walk(child)
+
+    for root in children.get(None, ()):
+        _walk(root)
+    for name in sorted(by_name):  # orphans under a missing parent name
+        if name not in ordered:
+            ordered.append(name)
+
+    rows = []
+    for name in ordered:
+        durations = sorted(by_name[name])
+        total = sum(durations)
+        rows.append(
+            {
+                "name": name,
+                "depth": _depth(name, parents),
+                "count": len(durations),
+                "mean_s": total / len(durations),
+                "p50_s": _percentile(durations, 0.50),
+                "p95_s": _percentile(durations, 0.95),
+                "total_s": total,
+            }
+        )
+    return rows
+
+
+def render_table(rows: "list[dict[str, Any]]") -> str:
+    header = ("span", "count", "mean", "p50", "p95", "total")
+    cells = [
+        (
+            "  " * row["depth"] + row["name"],
+            str(row["count"]),
+            f"{row['mean_s']:.6f}",
+            f"{row['p50_s']:.6f}",
+            f"{row['p95_s']:.6f}",
+            f"{row['total_s']:.6f}",
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(header[col]), *(len(line[col]) for line in cells)) if cells else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [
+        "  ".join(
+            header[col].ljust(widths[col]) if col == 0 else header[col].rjust(widths[col])
+            for col in range(len(header))
+        )
+    ]
+    for line in cells:
+        lines.append(
+            "  ".join(
+                line[col].ljust(widths[col]) if col == 0 else line[col].rjust(widths[col])
+                for col in range(len(header))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cmd_summarize(path: str) -> int:
+    try:
+        spans = load_spans(path)
+    except (OSError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = summarize_rows(spans)
+    if not rows:
+        print("no spans found", file=sys.stderr)
+        return 1
+    print(render_table(rows))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# timeline
+# ----------------------------------------------------------------------
+def _timeline_label(event: "dict") -> str:
+    if "name" in event and "duration_s" in event:  # a span record
+        status = event.get("status", "ok")
+        suffix = "" if status == "ok" else f" [{status}]"
+        return f"span {event['name']} ({event['duration_s']:.6f}s){suffix}"
+    if event.get("type") == "telemetry":
+        stages = ", ".join(
+            f"{key[:-2]}={event[key]:.4f}s"
+            for key in sorted(event)
+            if key.endswith("_s") and isinstance(event[key], (int, float))
+        )
+        bits = [f"iter {event.get('iteration', '?')}"]
+        if "fidelity" in event:
+            bits.append(f"fidelity={event['fidelity']}")
+        if "acq" in event and event["acq"] is not None:
+            bits.append(f"acq={event['acq']:.4g}")
+        if "budget_spent" in event:
+            bits.append(f"budget={event['budget_spent']:.3f}")
+        if stages:
+            bits.append(stages)
+        return "telemetry " + " ".join(bits)
+    if "evaluation" in event:
+        return (
+            f"evaluation seq={event.get('seq', '?')} "
+            f"iter={event.get('iteration', '?')} "
+            f"fidelity={event.get('fidelity', '?')}"
+        )
+    return f"event {event.get('type', '?')}"
+
+
+def _cmd_timeline(path: str) -> int:
+    try:
+        events = _load_events(path)
+    except (OSError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print("no events found", file=sys.stderr)
+        return 1
+    stamped = [e for e in events if isinstance(e.get("ts"), (int, float))]
+    unstamped = [e for e in events if not isinstance(e.get("ts"), (int, float))]
+    stamped.sort(key=lambda e: e["ts"])
+    origin = stamped[0]["ts"] if stamped else 0.0
+    for event in stamped:
+        print(f"+{event['ts'] - origin:10.4f}s  {_timeline_label(event)}")
+    for event in unstamped:  # pre-`ts` vault schemas: order preserved, no offset
+        print(f"{'(no ts)':>12}  {_timeline_label(event)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize trace JSONL files and vault runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("summarize", "per-span latency table (count/mean/p50/p95/total)"),
+        ("timeline", "chronological span/event listing with offsets"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("path", help="trace JSONL file or vault run directory")
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        return _cmd_summarize(args.path)
+    return _cmd_timeline(args.path)

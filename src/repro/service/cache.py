@@ -24,6 +24,7 @@ import numpy as np
 from ..core.history import History
 from ..gp.gpr import GPR
 from ..mf.nargp import NARGP
+from ..obs import MetricsRegistry
 from ..problems.base import Problem
 from ..rng import ensure_rng
 
@@ -145,14 +146,33 @@ class PosteriorCache:
     ... )                                                  # doctest: +SKIP
     """
 
-    def __init__(self, maxsize: int = 8) -> None:
+    def __init__(
+        self, maxsize: int = 8, metrics: MetricsRegistry | None = None
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[str, SurrogatePosterior] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Counters live in an obs registry — the server passes its own
+        # so the `stats` op exports them alongside per-op latencies;
+        # a standalone cache gets a private registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._evictions = self.metrics.counter("cache.evictions")
+
+    # Legacy int attributes, now read-only views of the obs counters.
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -164,10 +184,10 @@ class PosteriorCache:
         """Cached posterior for ``key``, refreshing its recency."""
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
         return entry
 
     def put(self, key: str, posterior: SurrogatePosterior) -> None:
@@ -175,7 +195,8 @@ class PosteriorCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
+        self.metrics.gauge("cache.size").set(len(self._entries))
 
     def get_or_fit(
         self, key: str, fit: Callable[[], SurrogatePosterior]

@@ -120,6 +120,10 @@ class ServiceClient:
     def cache_stats(self) -> dict:
         return self.call("cache_stats")
 
+    def stats(self) -> dict:
+        """Server-wide metrics snapshot: per-op latencies + cache stats."""
+        return self.call("stats")
+
     def shutdown(self) -> None:
         self.call("shutdown")
 

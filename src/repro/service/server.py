@@ -21,10 +21,12 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
 
+from ..obs import LATENCY_BUCKETS_S, MetricsRegistry
 from ..problems.base import Evaluation
 from .cache import PosteriorCache, SurrogatePosterior, history_fingerprint
 from .vault import RunVault, VaultError, VaultSession
@@ -67,7 +69,10 @@ class SessionServer(socketserver.ThreadingTCPServer):
     ) -> None:
         self.vault = vault if isinstance(vault, RunVault) else RunVault(vault)
         self.request_timeout = float(request_timeout)
-        self.cache = PosteriorCache(maxsize=cache_size)
+        # One registry for the whole server: the cache shares it, so the
+        # `stats` op exports cache counters next to per-op latencies.
+        self.metrics = MetricsRegistry()
+        self.cache = PosteriorCache(maxsize=cache_size, metrics=self.metrics)
         self.sessions: dict[str, VaultSession] = {}
         self._sessions_lock = threading.Lock()
         self._run_locks: dict[str, threading.Lock] = {}
@@ -126,14 +131,25 @@ class SessionServer(socketserver.ThreadingTCPServer):
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None)
         if not isinstance(op, str) or handler is None:
+            self.metrics.counter("server.unknown_ops").inc()
             raise VaultError(f"unknown op {op!r}")
-        if op in _PER_RUN_OPS:
-            run_id = str(request.get("run_id") or "")
-            if not run_id:
-                raise VaultError(f"op {op!r} requires a run_id")
-            with self._run_lock(run_id):
-                return handler(request)
-        return handler(request)
+        start = time.perf_counter()
+        try:
+            if op in _PER_RUN_OPS:
+                run_id = str(request.get("run_id") or "")
+                if not run_id:
+                    raise VaultError(f"op {op!r} requires a run_id")
+                with self._run_lock(run_id):
+                    return handler(request)
+            return handler(request)
+        except Exception:
+            self.metrics.counter(f"op.{op}.errors").inc()
+            raise
+        finally:
+            self.metrics.counter(f"op.{op}.requests").inc()
+            self.metrics.histogram(
+                f"op.{op}.latency_s", LATENCY_BUCKETS_S
+            ).observe(time.perf_counter() - start)
 
     def _op_ping(self, request: dict) -> dict:
         return {"pong": True}
@@ -243,6 +259,14 @@ class SessionServer(socketserver.ThreadingTCPServer):
 
     def _op_cache_stats(self, request: dict) -> dict:
         return self.cache.stats()
+
+    def _op_stats(self, request: dict) -> dict:
+        """Server-wide telemetry: per-op latencies plus cache counters.
+
+        Not per-run — the snapshot covers every run the server has
+        touched, so it takes no run lock.
+        """
+        return {"metrics": self.metrics.snapshot(), "cache": self.cache.stats()}
 
     def _op_ls(self, request: dict) -> dict:
         infos = self.vault.list_runs(

@@ -52,6 +52,11 @@ __all__ = ["RunVault", "RunInfo", "VaultSession", "VaultError"]
 
 META_FORMAT = "repro-run"
 META_VERSION = 1
+#: events.jsonl schema: v1 lines were bare evaluations; v2 adds a
+#: wall-clock ``ts`` to every line plus interleaved ``type: telemetry``
+#: lines. Purely additive — replay ignores both — so META_VERSION is
+#: unchanged and v1 runs stay fully readable.
+EVENTS_VERSION = 2
 
 
 class VaultError(RuntimeError):
@@ -152,12 +157,14 @@ class RunVault:
         if run_dir.exists():
             raise VaultError(f"run {run_id!r} already exists in {self.root}")
         run_dir.mkdir(parents=True)
+        # reprolint: allow[REPRO-OBS001] creation stamp for ls/gc, not a duration
         now = time.time()
         self._write_meta(
             run_id,
             {
                 "format": META_FORMAT,
                 "version": META_VERSION,
+                "events_version": EVENTS_VERSION,
                 "run_id": run_id,
                 "problem": problem_name,
                 "problem_kwargs": dict(problem_kwargs or {}),
@@ -194,6 +201,7 @@ class RunVault:
         """Merge ``fields`` into a run's metadata, atomically."""
         payload = self.meta(run_id)
         payload.update(fields)
+        # reprolint: allow[REPRO-OBS001] freshness stamp for ls/gc, not a duration
         payload["updated"] = time.time()
         self._write_meta(run_id, payload)
         return payload
@@ -212,9 +220,29 @@ class RunVault:
     def read_events(self, run_id: str) -> list[dict]:
         """Read the acknowledged evaluation log, oldest first.
 
+        Only evaluation events are returned — interleaved telemetry
+        lines (events schema v2, ``"type": "telemetry"``) are filtered
+        out, so replay and seq-contiguity consumers see the same stream
+        v1 runs produced. Use :meth:`read_telemetry` for the rest.
+
         A torn final line (process killed mid-append) is dropped; a torn
         line anywhere else means real corruption and raises.
         """
+        return [
+            event
+            for event in self._read_event_lines(run_id)
+            if "type" not in event
+        ]
+
+    def read_telemetry(self, run_id: str) -> list[dict]:
+        """Interleaved per-iteration telemetry events, oldest first."""
+        return [
+            event
+            for event in self._read_event_lines(run_id)
+            if event.get("type") == "telemetry"
+        ]
+
+    def _read_event_lines(self, run_id: str) -> list[dict]:
         path = self.events_path(run_id)
         if not path.exists():
             raise VaultError(f"no run {run_id!r} in vault {self.root}")
@@ -266,10 +294,22 @@ class RunVault:
         )
 
     def _count_events(self, run_id: str) -> int:
+        """Count acknowledged *evaluations* (telemetry lines excluded)."""
         path = self.events_path(run_id)
         if not path.exists():
             return 0
-        return sum(1 for line in path.read_text().splitlines() if line.strip())
+        count = 0
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail: never acknowledged
+            if "type" not in event:
+                count += 1
+        return count
 
     def list_runs(
         self,
@@ -533,11 +573,45 @@ class VaultSession(OptimizationSession):
     def _release_lock(self) -> None:
         self.vault.lock_path(self.run_id).unlink(missing_ok=True)
 
+    def suggest(self, k: int = 1) -> "list":
+        """Ask the strategy, then persist any telemetry it produced.
+
+        Model-based strategies emit one per-iteration telemetry event
+        (fidelity, acquisition value, stage durations, budget) from each
+        refill; draining here puts those lines next to the evaluations
+        they explain, making every vaulted run post-hoc inspectable with
+        ``python -m repro.obs``.
+        """
+        batch = super().suggest(k)
+        self._flush_telemetry()
+        return batch
+
+    def _flush_telemetry(self) -> None:
+        take = getattr(self.strategy, "take_telemetry", None)
+        if take is None or self._events_file.closed:
+            return
+        events = take()
+        if not events:
+            return
+        # Telemetry is advisory: flushed but not fsynced (unlike
+        # evaluations, nothing downstream depends on it surviving a
+        # crash), and replay filters it out entirely.
+        # reprolint: allow[REPRO-OBS001] timeline stamp on advisory telemetry, not a duration
+        ts = time.time()
+        for event in events:
+            # reprolint: allow[REPRO-TAINT001] advisory telemetry line, not optimizer state
+            line = json.dumps({"type": "telemetry", "ts": ts, **event})
+            self._events_file.write(line + "\n")
+        self._events_file.flush()
+
     def observe(
         self, x_unit: np.ndarray, fidelity: str, evaluation: "Evaluation"
     ) -> "Record":
         record = self.strategy.observe(x_unit, fidelity, evaluation)
         self._n_observed += 1
+        # reprolint: allow[REPRO-OBS001] ack timestamp for timelines, not a duration
+        ts = time.time()
+        # reprolint: allow[REPRO-TAINT001] ts places the ack on a real timeline; replay ignores it
         line = json.dumps(
             {
                 "seq": self._n_observed,
@@ -545,6 +619,7 @@ class VaultSession(OptimizationSession):
                 "x_unit": [float(v) for v in record.x_unit],
                 "fidelity": record.fidelity,
                 "evaluation": record.evaluation.to_dict(),
+                "ts": ts,
             }
         )
         self._events_file.write(line + "\n")
@@ -620,6 +695,7 @@ class VaultSession(OptimizationSession):
     def close(self) -> None:
         """Flush the event log, drop the writer lock, close the evaluator."""
         if not self._events_file.closed:
+            self._flush_telemetry()
             self.save(self.checkpoint_path)
             self._refresh_meta(
                 status="done" if self.strategy.is_done else "running"

@@ -48,6 +48,7 @@ from typing import Any, Iterator, NamedTuple, Sequence
 
 import numpy as np
 
+from ..obs import MetricsRegistry, activate_worker_tracing, span, worker_payload
 from ..problems.base import Evaluation, FailedEvaluation, Problem
 from .evaluators import Evaluator, SerialEvaluator
 from .protocol import Suggestion
@@ -71,28 +72,37 @@ class EvalResult(NamedTuple):
     evaluation: Evaluation
 
 
-def _run_one(payload: tuple[Problem, np.ndarray, str]) -> tuple:
+def _run_one(payload: tuple[Problem, np.ndarray, str, "dict | None"]) -> tuple:
     """Worker entry point: evaluate one suggestion, never raise.
 
     Returns ``("ok", evaluation, wall_s)`` or ``("error", type_name,
     message, wall_s)`` — exceptions are flattened to strings because an
     arbitrary simulator exception is not guaranteed picklable.
+
+    ``trace`` carries the dispatcher's tracing state (JSONL sink path +
+    active span context) across the process boundary, so the worker-side
+    ``farm.evaluate`` span lands in the same trace file, parented under
+    the dispatch span. ``None`` — tracing off — costs one ``is None``
+    check.
     """
-    problem, x_unit, fidelity = payload
-    start = time.perf_counter()
-    try:
-        evaluation = problem.evaluate_unit(x_unit, fidelity)
-    except Exception as exc:
-        # Deliberately broad: the exception is flattened into an
-        # ("error", ...) outcome that re-enters the retry/failure
-        # ladder on the dispatch side — nothing is swallowed here.
-        return (
-            "error",
-            type(exc).__name__,
-            str(exc),
-            time.perf_counter() - start,
-        )
-    return ("ok", evaluation, time.perf_counter() - start)
+    problem, x_unit, fidelity, trace = payload
+    with activate_worker_tracing(trace):
+        with span("farm.evaluate", fidelity=fidelity) as evaluation_span:
+            start = time.perf_counter()
+            try:
+                evaluation = problem.evaluate_unit(x_unit, fidelity)
+            except Exception as exc:
+                # Deliberately broad: the exception is flattened into an
+                # ("error", ...) outcome that re-enters the retry/failure
+                # ladder on the dispatch side — nothing is swallowed here.
+                evaluation_span.set(error=type(exc).__name__)
+                return (
+                    "error",
+                    type(exc).__name__,
+                    str(exc),
+                    time.perf_counter() - start,
+                )
+            return ("ok", evaluation, time.perf_counter() - start)
 
 
 @dataclass
@@ -172,6 +182,19 @@ class AsyncEvaluator(Evaluator):
         self._inflight: dict = {}  # Future -> ticket
         self._retry: list[tuple[float, int]] = []  # (due_monotonic, ticket)
         self._ready: deque[EvalResult] = deque()
+        #: per-farm instrument registry (never shared between instances,
+        #: so parallel sessions and tests cannot cross-contaminate)
+        self.metrics = MetricsRegistry()
+
+    def _update_gauges(self) -> None:
+        metrics = self.metrics
+        inflight = len(self._inflight)
+        metrics.gauge("farm.inflight").set(inflight)
+        metrics.gauge("farm.queue_depth").set(len(self._retry))
+        metrics.gauge("farm.ready").set(len(self._ready))
+        metrics.gauge("farm.worker_utilization").set(
+            min(inflight, self.max_workers) / self.max_workers
+        )
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -295,19 +318,32 @@ class AsyncEvaluator(Evaluator):
             if self.timeout_s is None
             else time.monotonic() + self.timeout_s
         )
-        payload = (
-            task.problem, task.suggestion.x_unit, task.suggestion.fidelity
-        )
-        try:
-            future = self._get_pool().submit(_run_one, payload)
-        # reprolint: allow[REPRO-XF002] this handler IS the recovery path: it respawns the pool and resubmits
-        except BrokenProcessPool:
-            # The pool died since the last pump (a worker was killed
-            # while idle, or its death hadn't surfaced yet): recycle the
-            # broken in-flight work, then retry on a fresh pool.
-            self._handle_broken_pool()
-            future = self._get_pool().submit(_run_one, payload)
+        with span(
+            "farm.dispatch",
+            ticket=task.ticket,
+            fidelity=task.suggestion.fidelity,
+            attempt=task.attempts,
+        ):
+            # worker_payload() inside the span: the worker's
+            # farm.evaluate span parents under this dispatch span.
+            payload = (
+                task.problem,
+                task.suggestion.x_unit,
+                task.suggestion.fidelity,
+                worker_payload(),
+            )
+            try:
+                future = self._get_pool().submit(_run_one, payload)
+            # reprolint: allow[REPRO-XF002] this handler IS the recovery path: it respawns the pool and resubmits
+            except BrokenProcessPool:
+                # The pool died since the last pump (a worker was killed
+                # while idle, or its death hadn't surfaced yet): recycle
+                # the broken in-flight work, then retry on a fresh pool.
+                self._handle_broken_pool()
+                future = self._get_pool().submit(_run_one, payload)
         self._inflight[future] = task.ticket
+        self.metrics.counter("farm.dispatched").inc()
+        self._update_gauges()
 
     def _pump(self, block_s: float | None) -> None:
         """One dispatch-wait-resolve cycle; bounded by ``block_s``."""
@@ -348,6 +384,7 @@ class AsyncEvaluator(Evaluator):
             ]
             if expired:
                 self._handle_timeouts(expired)
+        self._update_gauges()
 
     def _handle_future(self, future: Future) -> None:
         ticket = self._inflight.pop(future, None)
@@ -396,6 +433,7 @@ class AsyncEvaluator(Evaluator):
         requeued for free. A deterministic crasher therefore exhausts
         *its own* attempts without draining innocent queued tasks'.
         """
+        self.metrics.counter("farm.broken_pools").inc()
         tickets = list(extra_tickets or []) + list(self._inflight.values())
         self._inflight.clear()
         self._teardown_pool(kill=False)
@@ -415,6 +453,7 @@ class AsyncEvaluator(Evaluator):
 
     def _handle_timeouts(self, expired: list[int]) -> None:
         """Deadline hit: kill the pool, charge the expired, respawn."""
+        self.metrics.counter("farm.timeouts").inc(len(expired))
         expired_set = set(expired)
         inflight = list(self._inflight.values())
         self._inflight.clear()
@@ -442,9 +481,11 @@ class AsyncEvaluator(Evaluator):
         if task.attempts >= self.max_attempts:
             self._fail(task, error_type, message)
             return
+        self.metrics.counter("farm.retries").inc()
         delay = self.retry_backoff_s * 2.0 ** (task.attempts - 1)
         delay *= 1.0 + self.retry_jitter * float(self._rng.uniform(-1.0, 1.0))
         self._retry.append((time.monotonic() + max(delay, 0.0), task.ticket))
+        self._update_gauges()
 
     def _fail(self, task: _Task, error_type: str, message: str) -> None:
         suggestion = task.suggestion
@@ -466,6 +507,11 @@ class AsyncEvaluator(Evaluator):
         self._ready.append(
             EvalResult(task.ticket, task.suggestion, evaluation)
         )
+        self.metrics.counter("farm.completed").inc()
+        if getattr(evaluation, "failed", False):
+            self.metrics.counter("farm.failures").inc()
+        self.metrics.histogram("farm.wall_s").observe(task.wall)
+        self._update_gauges()
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..obs import span
 from .evaluators import Evaluator, SerialEvaluator
 from .protocol import Strategy, Suggestion
 
@@ -214,24 +215,26 @@ class OptimizationSession:
 
         An empty list means the strategy had nothing left to suggest.
         """
-        suggestions = self.strategy.suggest(batch_size)
-        if not suggestions:
-            return []
-        evaluations = self.evaluator.evaluate(self.problem, suggestions)
-        if len(evaluations) != len(suggestions):
-            raise ValueError(
-                f"evaluator returned {len(evaluations)} evaluations for "
-                f"{len(suggestions)} suggestions; every suggestion must be "
-                "answered (in order) or population strategies stall"
-            )
-        # Observations go through self.observe so subclasses (e.g. the
-        # run vault's persistent session) see every record exactly once,
-        # whichever driver produced it.
-        observe = self.observe
-        records = [
-            observe(s.x_unit, s.fidelity, evaluation)
-            for s, evaluation in zip(suggestions, evaluations)
-        ]
+        with span("session.step", batch_size=batch_size):
+            # Suggestions go through self.suggest (and observations
+            # through self.observe) so subclasses — e.g. the run vault's
+            # persistent session — see every exchange exactly once,
+            # whichever driver produced it.
+            suggestions = self.suggest(batch_size)
+            if not suggestions:
+                return []
+            evaluations = self.evaluator.evaluate(self.problem, suggestions)
+            if len(evaluations) != len(suggestions):
+                raise ValueError(
+                    f"evaluator returned {len(evaluations)} evaluations for "
+                    f"{len(suggestions)} suggestions; every suggestion must "
+                    "be answered (in order) or population strategies stall"
+                )
+            observe = self.observe
+            records = [
+                observe(s.x_unit, s.fidelity, evaluation)
+                for s, evaluation in zip(suggestions, evaluations)
+            ]
         self.n_steps += 1
         if (
             self.checkpoint_every is not None
@@ -296,7 +299,10 @@ class OptimizationSession:
             if not strategy.is_done:
                 want = target - evaluator.pending
                 if want > 0:
-                    for suggestion in strategy.suggest(want):
+                    # Through self.suggest for the same subclass-hook
+                    # reason as step(): the vault session flushes
+                    # per-iteration telemetry on every suggest.
+                    for suggestion in self.suggest(want):
                         evaluator.submit(problem, suggestion)
             if evaluator.pending == 0:
                 break

@@ -479,12 +479,88 @@ def test_conc004_plain_file_read_is_out_of_scope(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# timing discipline
+# ----------------------------------------------------------------------
+def test_obs001_wallclock_duration_subtraction(tmp_path):
+    source = """
+    import time
+
+
+    def slow(work):
+        start = time.time()
+        work()
+        return time.time() - start
+    """
+    assert findings_of(tmp_path, source) == [
+        ("REPRO-OBS001", 5),
+        ("REPRO-OBS001", 7),
+    ]
+
+
+def test_obs001_subtraction_sharpens_message(tmp_path):
+    source = """
+    import time
+
+
+    def slow(work):
+        start = time.time()
+        work()
+        return time.time() - start
+    """
+    path = write_fixture(tmp_path, source)
+    found = run_lint([path], manifest=manifest_for(path))
+    assert all("subtraction" in f.message for f in found)
+
+
+def test_obs001_from_import_alias(tmp_path):
+    source = """
+    from time import time as now
+
+
+    def stamp():
+        return now()
+    """
+    assert findings_of(tmp_path, source) == [("REPRO-OBS001", 5)]
+
+
+def test_obs001_perf_counter_is_fine(tmp_path):
+    source = """
+    import time
+
+
+    def slow(work):
+        start = time.perf_counter()
+        work()
+        return time.perf_counter() - start
+    """
+    assert findings_of(tmp_path, source) == []
+
+
+def test_obs001_suppressed_timestamp(tmp_path):
+    source = """
+    import time
+
+
+    def stamp():
+        # reprolint: allow[REPRO-OBS001] event-log timestamp, not a duration
+        return time.time()
+    """
+    assert findings_of(tmp_path, source) == []
+
+
+# ----------------------------------------------------------------------
 # CLI and the clean-tree guarantee
 # ----------------------------------------------------------------------
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for family in ("REPRO-RNG", "REPRO-SER", "REPRO-STAMP", "REPRO-FAIL"):
+    for family in (
+        "REPRO-RNG",
+        "REPRO-SER",
+        "REPRO-STAMP",
+        "REPRO-FAIL",
+        "REPRO-OBS",
+    ):
         assert family in out
 
 
